@@ -1,0 +1,816 @@
+(* Benchmark harness: regenerates every table and figure of Cox et al.,
+   "Software Versus Hardware Shared-Memory Implementation: A Case Study"
+   (ISCA 1994), plus the paper's in-text experiments and a Bechamel
+   micro-suite over the core primitives.
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything (default scale)
+     dune exec bench/main.exe -- --list       -- list experiment ids
+     dune exec bench/main.exe -- --only f3,t1 -- run a subset
+     dune exec bench/main.exe -- --scale quick|default|paper
+     dune exec bench/main.exe -- --skip-micro *)
+
+module Registry = Shm_apps.Registry
+module Sor = Shm_apps.Sor
+module Tsp = Shm_apps.Tsp
+module Machines = Shm_platform.Machines
+module Platform = Shm_platform.Platform
+module Report = Shm_platform.Report
+module Dsm_cluster = Shm_platform.Dsm_cluster
+module Machines_reg = Shm_platform.Machines
+module Hs = Shm_platform.Hs
+module Ah = Shm_platform.Ah
+module Overhead = Shm_net.Overhead
+module Table = Shm_stats.Table
+module Parmacs = Shm_parmacs.Parmacs
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+let scale = ref Registry.Default
+let only : string list ref = ref []
+let skip_micro = ref false
+let list_only = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Memoized runs: several figures share the same (app, platform, n)    *)
+
+type run_key = { app_key : string; platform_key : string; n : int }
+
+let run_cache : (run_key, Report.t) Hashtbl.t = Hashtbl.create 64
+
+let timed_run ~app_key ~(platform : Platform.t) ~platform_key app ~n =
+  let key = { app_key; platform_key; n } in
+  match Hashtbl.find_opt run_cache key with
+  | Some r -> r
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let r = platform.Platform.run app ~nprocs:n in
+      Printf.printf "    [ran %s on %s, %d procs: %.3f sim s, %.1f wall s]\n%!"
+        app_key platform_key n (Report.seconds r) (Unix.gettimeofday () -. t0);
+      Hashtbl.replace run_cache key r;
+      r
+
+(* ------------------------------------------------------------------ *)
+(* Application instances                                               *)
+
+let sec2_app name = (name, Registry.app ~scale:!scale name)
+
+(* Section-3 instances: the paper notes its simulated problems are small;
+   these mirror that, with a compute-denser SOR stencil so the 64-processor
+   runs exercise communication rather than the simulator. *)
+let sor_sim () =
+  let rows, cols, iters =
+    match !scale with
+    | Registry.Quick -> (256, 128, 6)
+    | Registry.Default -> (512, 256, 12)
+    | Registry.Paper -> (1024, 512, 12)
+  in
+  ( "sor-sim",
+    Sor.make { Sor.default_params with rows; cols; iters; point_cycles = 480 } )
+
+let tsp_sim () =
+  let ncities =
+    match !scale with
+    | Registry.Quick -> 11
+    | Registry.Default -> 14
+    | Registry.Paper -> 16
+  in
+  ("tsp-sim", Tsp.make (Tsp.params_n ncities))
+
+let mwater_sim () = ("m-water", Registry.app ~scale:!scale "m-water")
+
+(* ------------------------------------------------------------------ *)
+(* Platform instances                                                  *)
+
+let dec () = Dsm_cluster.dec_plain ()
+let ivy () = Machines.get "ivy"
+let tmk () = Dsm_cluster.dec ~level:Dsm_cluster.User ()
+let tmk_kernel () = Dsm_cluster.dec ~level:Dsm_cluster.Kernel ()
+let tmk_eager () = Dsm_cluster.dec ~eager:true ~level:Dsm_cluster.User ()
+let sgi () = Machines.get "sgi"
+let as_machine ?overhead () = Dsm_cluster.as_machine ?overhead ()
+let ah_machine () = Ah.make ()
+let hs_machine ?overhead () = Hs.make ?overhead ()
+
+let procs_sec2 = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+let procs_sec3 = [ 1; 8; 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Generic figure renderers                                            *)
+
+(* A Section-2 speedup figure: TreadMarks vs the SGI, 1-8 processors.
+   TreadMarks speedups are relative to the plain DECstation (Table 1
+   methodology); SGI speedups to its own uniprocessor. *)
+let sec2_figure ~title (app_key, app) =
+  let dec_base =
+    timed_run ~app_key ~platform:(dec ()) ~platform_key:"dec" app ~n:1
+  in
+  let sgi_p = sgi () and tmk_p = tmk () in
+  let sgi_base =
+    timed_run ~app_key ~platform:sgi_p ~platform_key:"sgi" app ~n:1
+  in
+  let table =
+    Table.create ~title ~columns:[ "procs"; "TreadMarks"; "SGI 4D/480" ]
+  in
+  List.iter
+    (fun n ->
+      let rt =
+        timed_run ~app_key ~platform:tmk_p ~platform_key:"treadmarks" app ~n
+      in
+      let rs = timed_run ~app_key ~platform:sgi_p ~platform_key:"sgi" app ~n in
+      Table.add_row table
+        [
+          string_of_int n;
+          Table.cell_speedup (Report.speedup ~base:dec_base rt);
+          Table.cell_speedup (Report.speedup ~base:sgi_base rs);
+        ])
+    procs_sec2;
+  Table.print table
+
+(* A Section-3 speedup figure: AS vs AH vs HS, up to 64 processors,
+   each relative to its own uniprocessor run. *)
+let sec3_figure ~title (app_key, app) =
+  let archs =
+    [ ("AH", ah_machine ()); ("HS", hs_machine ()); ("AS", as_machine ()) ]
+  in
+  let bases =
+    List.map
+      (fun (k, p) ->
+        (k, timed_run ~app_key ~platform:p ~platform_key:k app ~n:1))
+      archs
+  in
+  let table = Table.create ~title ~columns:("procs" :: List.map fst archs) in
+  List.iter
+    (fun n ->
+      let cells =
+        List.map
+          (fun (k, p) ->
+            let r = timed_run ~app_key ~platform:p ~platform_key:k app ~n in
+            Table.cell_speedup (Report.speedup ~base:(List.assoc k bases) r))
+          archs
+      in
+      Table.add_row table (string_of_int n :: cells))
+    (List.tl procs_sec3);
+  Table.print table
+
+(* Software-overhead sweep (Figures 14-16).  [tag] keeps the memoized
+   runs of the AS and HS sweeps apart. *)
+let overhead_figure ~title ~tag ~make_platform (app_key, app) =
+  let points = [ (5000, 10); (500, 10); (100, 10); (100, 1) ] in
+  let columns =
+    "procs" :: List.map (fun (f, w) -> Printf.sprintf "%d/%d" f w) points
+  in
+  let table = Table.create ~title ~columns in
+  let platforms =
+    List.map
+      (fun (f, w) ->
+        let key = Printf.sprintf "%s-%s-ov%d-%d" tag app_key f w in
+        ((f, w), (key, make_platform (Overhead.sweep ~fixed:f ~per_word:w))))
+      points
+  in
+  let bases =
+    List.map
+      (fun (pt, (key, p)) ->
+        (pt, timed_run ~app_key ~platform:p ~platform_key:key app ~n:1))
+      platforms
+  in
+  List.iter
+    (fun n ->
+      let cells =
+        List.map
+          (fun (pt, (key, p)) ->
+            let r = timed_run ~app_key ~platform:p ~platform_key:key app ~n in
+            Table.cell_speedup (Report.speedup ~base:(List.assoc pt bases) r))
+          platforms
+      in
+      Table.add_row table (string_of_int n :: cells))
+    (List.tl procs_sec3);
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+
+let sec2_apps =
+  [
+    "ilink-clp"; "ilink-bad"; "sor"; "sor-square"; "tsp"; "tsp-small";
+    "water"; "m-water";
+  ]
+
+let table1 () =
+  let table =
+    Table.create ~title:"Table 1: single-processor execution times (seconds)"
+      ~columns:[ "program"; "DEC"; "DEC+TreadMarks"; "SGI" ]
+  in
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      let r_dec =
+        timed_run ~app_key:name ~platform:(dec ()) ~platform_key:"dec" app ~n:1
+      in
+      let r_tmk =
+        timed_run ~app_key:name ~platform:(tmk ()) ~platform_key:"treadmarks"
+          app ~n:1
+      in
+      let r_sgi =
+        timed_run ~app_key:name ~platform:(sgi ()) ~platform_key:"sgi" app ~n:1
+      in
+      Table.add_row table
+        [
+          app.Parmacs.name;
+          Table.cell_f ~digits:2 (Report.seconds r_dec);
+          Table.cell_f ~digits:2 (Report.seconds r_tmk);
+          Table.cell_f ~digits:2 (Report.seconds r_sgi);
+        ])
+    sec2_apps;
+  Table.print table
+
+let table2 () =
+  let table =
+    Table.create
+      ~title:"Table 2: 8-processor TreadMarks execution statistics (per second)"
+      ~columns:
+        [ "program"; "barriers/s"; "remote locks/s"; "messages/s"; "kbytes/s" ]
+  in
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      let r =
+        timed_run ~app_key:name ~platform:(tmk ()) ~platform_key:"treadmarks"
+          app ~n:8
+      in
+      Table.add_row table
+        [
+          app.Parmacs.name;
+          Table.cell_f ~digits:1 (Report.rate r "tmk.barriers");
+          Table.cell_f ~digits:1 (Report.rate r "tmk.lock_remote");
+          Table.cell_f ~digits:0 (Report.rate r "net.msgs.total");
+          Table.cell_f ~digits:1 (Report.rate r "net.bytes.total" /. 1024.);
+        ])
+    sec2_apps;
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* In-text experiments                                                 *)
+
+let tsp_eager () =
+  let app_key, app = sec2_app "tsp" in
+  let table =
+    Table.create
+      ~title:"TSP lazy vs eager release (Section 2.4.3): 8-processor speedups"
+      ~columns:[ "platform"; "speedup" ]
+  in
+  let dec_base =
+    timed_run ~app_key ~platform:(dec ()) ~platform_key:"dec" app ~n:1
+  in
+  let sgi_base =
+    timed_run ~app_key ~platform:(sgi ()) ~platform_key:"sgi" app ~n:1
+  in
+  let row name platform platform_key base =
+    let r = timed_run ~app_key ~platform ~platform_key app ~n:8 in
+    Table.add_row table [ name; Table.cell_speedup (Report.speedup ~base r) ]
+  in
+  row "TreadMarks (lazy)" (tmk ()) "treadmarks" dec_base;
+  row "TreadMarks (eager bound)" (tmk_eager ()) "treadmarks-eager" dec_base;
+  row "SGI 4D/480" (sgi ()) "sgi" sgi_base;
+  Table.print table
+
+let kernel_level () =
+  let apps = [ "ilink-clp"; "sor"; "tsp"; "water"; "m-water" ] in
+  let table =
+    Table.create
+      ~title:
+        "User-level vs kernel-level TreadMarks (Section 2.4.4): 8-processor \
+         speedups vs DEC"
+      ~columns:[ "program"; "user"; "kernel"; "SGI" ]
+  in
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      let base =
+        timed_run ~app_key:name ~platform:(dec ()) ~platform_key:"dec" app ~n:1
+      in
+      let sgi_base =
+        timed_run ~app_key:name ~platform:(sgi ()) ~platform_key:"sgi" app ~n:1
+      in
+      let speedup platform platform_key b =
+        let r = timed_run ~app_key:name ~platform ~platform_key app ~n:8 in
+        Table.cell_speedup (Report.speedup ~base:b r)
+      in
+      Table.add_row table
+        [
+          app.Parmacs.name;
+          speedup (tmk ()) "treadmarks" base;
+          speedup (tmk_kernel ()) "treadmarks-kernel" base;
+          speedup (sgi ()) "sgi" sgi_base;
+        ])
+    apps;
+  Table.print table
+
+let sor_touch_all () =
+  sec2_figure
+    ~title:
+      "SOR with every point changing each iteration (Section 2.4.2): \
+       TreadMarks still wins"
+    (sec2_app "sor-touchall")
+
+(* ------------------------------------------------------------------ *)
+(* Figures 12-13: message and data totals at 64 processors             *)
+
+let messages_figure () =
+  let apps = [ sor_sim (); tsp_sim (); mwater_sim () ] in
+  let table =
+    Table.create
+      ~title:
+        "Figure 12: total messages at 64 processors (HS as % of AS, split \
+         miss / synchronization)"
+      ~columns:
+        [ "program"; "AS msgs"; "HS msgs"; "HS/AS %"; "HS miss%"; "HS sync%";
+          "AS miss%"; "AS sync%" ]
+  in
+  List.iter
+    (fun (app_key, app) ->
+      let r_as =
+        timed_run ~app_key ~platform:(as_machine ()) ~platform_key:"AS" app
+          ~n:64
+      in
+      let r_hs =
+        timed_run ~app_key ~platform:(hs_machine ()) ~platform_key:"HS" app
+          ~n:64
+      in
+      let as_total = float_of_int (Report.get r_as "net.msgs.total") in
+      let pct r name = 100. *. float_of_int (Report.get r name) /. as_total in
+      Table.add_row table
+        [
+          app.Parmacs.name;
+          Table.cell_i (Report.get r_as "net.msgs.total");
+          Table.cell_i (Report.get r_hs "net.msgs.total");
+          Table.cell_f ~digits:1 (pct r_hs "net.msgs.total");
+          Table.cell_f ~digits:1 (pct r_hs "net.msgs.miss");
+          Table.cell_f ~digits:1 (pct r_hs "net.msgs.sync");
+          Table.cell_f ~digits:1 (pct r_as "net.msgs.miss");
+          Table.cell_f ~digits:1 (pct r_as "net.msgs.sync");
+        ])
+    apps;
+  Table.print table
+
+let data_figure () =
+  let apps = [ sor_sim (); tsp_sim (); mwater_sim () ] in
+  let table =
+    Table.create
+      ~title:
+        "Figure 13: total data at 64 processors (HS as % of AS, split miss / \
+         consistency / headers)"
+      ~columns:
+        [ "program"; "AS KB"; "HS KB"; "HS/AS %"; "HS miss%"; "HS cons%";
+          "HS hdr%"; "AS miss%"; "AS cons%"; "AS hdr%" ]
+  in
+  List.iter
+    (fun (app_key, app) ->
+      let r_as =
+        timed_run ~app_key ~platform:(as_machine ()) ~platform_key:"AS" app
+          ~n:64
+      in
+      let r_hs =
+        timed_run ~app_key ~platform:(hs_machine ()) ~platform_key:"HS" app
+          ~n:64
+      in
+      let as_total = float_of_int (Report.get r_as "net.bytes.total") in
+      let pct r name = 100. *. float_of_int (Report.get r name) /. as_total in
+      Table.add_row table
+        [
+          app.Parmacs.name;
+          Table.cell_i (Report.get r_as "net.bytes.total" / 1024);
+          Table.cell_i (Report.get r_hs "net.bytes.total" / 1024);
+          Table.cell_f ~digits:1 (pct r_hs "net.bytes.total");
+          Table.cell_f ~digits:1 (pct r_hs "net.bytes.payload");
+          Table.cell_f ~digits:1 (pct r_hs "net.bytes.consistency");
+          Table.cell_f ~digits:1 (pct r_hs "net.bytes.header");
+          Table.cell_f ~digits:1 (pct r_as "net.bytes.payload");
+          Table.cell_f ~digits:1 (pct r_as "net.bytes.consistency");
+          Table.cell_f ~digits:1 (pct r_as "net.bytes.header");
+        ])
+    apps;
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: lazy release consistency vs sequentially-consistent       *)
+(* single-writer page DSM (IVY, Li & Hudak) on the same cluster        *)
+
+let lrc_vs_ivy () =
+  let apps = [ "sor"; "tsp"; "water"; "m-water"; "ilink-clp" ] in
+  let table =
+    Table.create
+      ~title:
+        "Ablation: TreadMarks (multiple-writer LRC) vs IVY (single-writer \
+         SC pages) on the DEC cluster, 8 processors"
+      ~columns:
+        [ "program"; "LRC speedup"; "IVY speedup"; "LRC KB"; "IVY KB" ]
+  in
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      let base =
+        timed_run ~app_key:name ~platform:(dec ()) ~platform_key:"dec" app ~n:1
+      in
+      let r_tmk =
+        timed_run ~app_key:name ~platform:(tmk ()) ~platform_key:"treadmarks"
+          app ~n:8
+      in
+      let r_ivy =
+        timed_run ~app_key:name ~platform:(ivy ()) ~platform_key:"ivy" app ~n:8
+      in
+      Table.add_row table
+        [
+          app.Parmacs.name;
+          Table.cell_speedup (Report.speedup ~base r_tmk);
+          Table.cell_speedup (Report.speedup ~base r_ivy);
+          Table.cell_i (Report.get r_tmk "net.bytes.total" / 1024);
+          Table.cell_i (Report.get r_ivy "net.bytes.total" / 1024);
+        ])
+    apps;
+  Table.print table;
+  print_endline
+    "\nMultiple-writer diffs avoid both the false-sharing ping-pong and\n\
+     the whole-page transfers of the classic SC page DSM."
+
+(* Ablation: lazy vs eager-invalidate write-notice propagation         *)
+
+let lrc_vs_erc () =
+  let apps = [ "sor"; "tsp"; "water"; "m-water"; "ilink-clp" ] in
+  let erc () =
+    Dsm_cluster.dec ~notice_policy:Shm_tmk.Config.Eager_invalidate
+      ~level:Dsm_cluster.User ()
+  in
+  let table =
+    Table.create
+      ~title:
+        "Ablation: lazy (TreadMarks) vs eager-invalidate release \
+         consistency, 8 processors"
+      ~columns:[ "program"; "LRC speedup"; "ERC speedup"; "LRC msgs"; "ERC msgs" ]
+  in
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      let base =
+        timed_run ~app_key:name ~platform:(dec ()) ~platform_key:"dec" app ~n:1
+      in
+      let r_lrc =
+        timed_run ~app_key:name ~platform:(tmk ()) ~platform_key:"treadmarks"
+          app ~n:8
+      in
+      let r_erc =
+        timed_run ~app_key:name ~platform:(erc ()) ~platform_key:"treadmarks-erc"
+          app ~n:8
+      in
+      Table.add_row table
+        [
+          app.Parmacs.name;
+          Table.cell_speedup (Report.speedup ~base r_lrc);
+          Table.cell_speedup (Report.speedup ~base r_erc);
+          Table.cell_i (Report.get r_lrc "net.msgs.total");
+          Table.cell_i (Report.get r_erc "net.msgs.total");
+        ])
+    apps;
+  Table.print table;
+  print_endline
+    "\nLaziness defers notice propagation to synchronization points;\n\
+     broadcasting at every release multiplies messages without making\n\
+     anything faster (Keleher et al.'s core LRC result)."
+
+(* Ablation: the Section-2.5 hypothetical SGI with dual tags + fast bus  *)
+
+let sgi_bus_ablation () =
+  let apps = [ "sor"; "sor-square"; "m-water" ] in
+  let fast = Shm_platform.Sgi.make_fast () in
+  let table =
+    Table.create
+      ~title:
+        "Ablation: SGI bus bandwidth (Section 2.5: \"dual cache tags and a \
+         faster bus are necessary to overcome the bandwidth limitation\"), \
+         8 processors"
+      ~columns:
+        [ "program"; "SGI speedup"; "fast-bus speedup"; "TreadMarks speedup" ]
+  in
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      let speedup_on platform platform_key =
+        let b = timed_run ~app_key:name ~platform ~platform_key app ~n:1 in
+        let r = timed_run ~app_key:name ~platform ~platform_key app ~n:8 in
+        Table.cell_speedup (Report.speedup ~base:b r)
+      in
+      let dec_base =
+        timed_run ~app_key:name ~platform:(dec ()) ~platform_key:"dec" app ~n:1
+      in
+      let r_tmk =
+        timed_run ~app_key:name ~platform:(tmk ()) ~platform_key:"treadmarks"
+          app ~n:8
+      in
+      Table.add_row table
+        [
+          app.Parmacs.name;
+          speedup_on (sgi ()) "sgi";
+          speedup_on fast "sgi-fast";
+          Table.cell_speedup (Report.speedup ~base:dec_base r_tmk);
+        ])
+    apps;
+  Table.print table
+
+(* Ablation: sharing patterns vs coherence strategies                  *)
+
+let sharing_patterns () =
+  let table =
+    Table.create
+      ~title:
+        "Ablation: sharing-pattern microbenchmarks, 8 processors.  Each \
+         processor does fixed per-round work, so 1.00 means coherence-free \
+         execution (efficiency, not speedup)."
+      ~columns:
+        [ "pattern"; "LRC eff"; "IVY eff"; "SGI eff"; "LRC KB"; "IVY KB" ]
+  in
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      let cell platform platform_key =
+        let b = timed_run ~app_key:name ~platform ~platform_key app ~n:1 in
+        let r = timed_run ~app_key:name ~platform ~platform_key app ~n:8 in
+        (Table.cell_speedup (Report.speedup ~base:b r),
+         Report.get r "net.bytes.total" / 1024)
+      in
+      let lrc, lrc_kb = cell (tmk ()) "treadmarks" in
+      let ivy_s, ivy_kb = cell (ivy ()) "ivy" in
+      let sgi_s, _ = cell (sgi ()) "sgi" in
+      Table.add_row table
+        [ name; lrc; ivy_s; sgi_s; Table.cell_i lrc_kb; Table.cell_i ivy_kb ])
+    [ "migratory"; "producer-consumer"; "false-sharing"; "read-mostly" ];
+  Table.print table;
+  print_endline
+    "\nFalse sharing is free under multiple-writer LRC and catastrophic\n\
+     under single-writer pages; migratory data suits every protocol;\n\
+     read-mostly data is cheap everywhere after the first fault."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core primitives                    *)
+
+let micro () =
+  let open Bechamel in
+  let module Memory = Shm_memsys.Memory in
+  let module Diff = Shm_tmk.Diff in
+  let module Vc = Shm_tmk.Vc in
+  let module Cache = Shm_memsys.Cache in
+  let module Pqueue = Shm_sim.Pqueue in
+  let diff_roundtrip =
+    let words = 512 in
+    let mem = Memory.create ~words in
+    let twin = Array.init words (fun i -> Int64.of_int i) in
+    Array.iteri (fun i v -> Memory.set mem i v) twin;
+    for i = 0 to 63 do
+      Memory.set_int mem (i * 8) (i + 10_000)
+    done;
+    Test.make ~name:"diff make+apply (4KB page, 64 changed words)"
+      (Staged.stage (fun () ->
+           let d = Diff.make ~page:0 ~twin ~current:mem ~base:0 ~words in
+           Diff.apply d mem ~base:0))
+  in
+  let vc_join =
+    let a = Array.init 64 (fun i -> i)
+    and b = Array.init 64 (fun i -> 64 - i) in
+    Test.make ~name:"vector-clock join (64 nodes)"
+      (Staged.stage (fun () -> ignore (Vc.join a b)))
+  in
+  let cache_probe =
+    let c = Cache.create ~size_words:8192 ~block_words:4 in
+    for i = 0 to 2047 do
+      ignore (Cache.insert c (i * 4) Cache.Shared)
+    done;
+    let i = ref 0 in
+    Test.make ~name:"cache probe"
+      (Staged.stage (fun () ->
+           i := (!i + 37) land 8191;
+           ignore (Cache.probe c !i)))
+  in
+  let pqueue_churn =
+    let q = Pqueue.create () in
+    let t = ref 0 in
+    Test.make ~name:"event-queue push+pop"
+      (Staged.stage (fun () ->
+           incr t;
+           Pqueue.push q ~time:!t ();
+           ignore (Pqueue.pop q)))
+  in
+  let barrier_round =
+    Test.make ~name:"8-node TreadMarks barrier round"
+      (Staged.stage (fun () ->
+           let module Engine = Shm_sim.Engine in
+           let module Counters = Shm_stats.Counters in
+           let module Fabric = Shm_net.Fabric in
+           let module Config = Shm_tmk.Config in
+           let module System = Shm_tmk.System in
+           let eng = Engine.create () in
+           let counters = Counters.create () in
+           let fabric =
+             Fabric.create eng counters
+               (Fabric.atm_dec ~overhead:Overhead.treadmarks_user)
+               ~nodes:8
+           in
+           let memories = Array.init 8 (fun _ -> Memory.create ~words:512) in
+           let cfg = Config.default ~n_nodes:8 ~shared_words:512 in
+           let sys = System.create eng counters fabric cfg ~memories in
+           System.start sys;
+           for node = 0 to 7 do
+             ignore
+               (Engine.spawn eng ~name:(string_of_int node) ~at:0 (fun f ->
+                    System.barrier_arrive sys f ~node ~id:0))
+           done;
+           Engine.run eng))
+  in
+  let tests =
+    Test.make_grouped ~name:"core"
+      [ diff_roundtrip; vc_join; cache_probe; pqueue_churn; barrier_round ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table =
+    Table.create ~title:"Microbenchmarks (Bechamel, monotonic clock)"
+      ~columns:[ "benchmark"; "ns/run" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let cell =
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Table.cell_f ~digits:1 est
+        | Some _ | None -> "n/a"
+      in
+      rows := (name, cell) :: !rows)
+    results;
+  List.iter
+    (fun (name, cell) -> Table.add_row table [ name; cell ])
+    (List.sort compare !rows);
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Experiment registry                                                 *)
+
+type experiment = { id : string; title : string; run : unit -> unit }
+
+let experiments =
+  [
+    { id = "t1"; title = "Table 1: single-processor times"; run = table1 };
+    { id = "t2"; title = "Table 2: 8-processor TreadMarks statistics";
+      run = table2 };
+    { id = "f1"; title = "Figure 1: ILINK-CLP";
+      run =
+        (fun () ->
+          sec2_figure ~title:"Figure 1: ILINK CLP speedups"
+            (sec2_app "ilink-clp")) };
+    { id = "f2"; title = "Figure 2: ILINK-BAD";
+      run =
+        (fun () ->
+          sec2_figure ~title:"Figure 2: ILINK BAD speedups"
+            (sec2_app "ilink-bad")) };
+    { id = "f3"; title = "Figure 3: SOR (large)";
+      run =
+        (fun () ->
+          sec2_figure ~title:"Figure 3: SOR 2000x1000-class speedups"
+            (sec2_app "sor")) };
+    { id = "f4"; title = "Figure 4: SOR (square)";
+      run =
+        (fun () ->
+          sec2_figure ~title:"Figure 4: SOR 1000x1000-class speedups"
+            (sec2_app "sor-square")) };
+    { id = "f5"; title = "Figure 5: TSP (smaller input)";
+      run =
+        (fun () ->
+          sec2_figure ~title:"Figure 5: TSP 18-city-class speedups"
+            (sec2_app "tsp-small")) };
+    { id = "f6"; title = "Figure 6: TSP (larger input)";
+      run =
+        (fun () ->
+          sec2_figure ~title:"Figure 6: TSP 19-city-class speedups"
+            (sec2_app "tsp")) };
+    { id = "f7"; title = "Figure 7: Water";
+      run =
+        (fun () ->
+          sec2_figure ~title:"Figure 7: Water speedups" (sec2_app "water")) };
+    { id = "f8"; title = "Figure 8: M-Water";
+      run =
+        (fun () ->
+          sec2_figure ~title:"Figure 8: M-Water speedups" (sec2_app "m-water")) };
+    { id = "x1"; title = "TSP eager vs lazy release"; run = tsp_eager };
+    { id = "x2"; title = "user- vs kernel-level TreadMarks"; run = kernel_level };
+    { id = "x3"; title = "SOR with all points changing"; run = sor_touch_all };
+    { id = "f9"; title = "Figure 9: SOR on AS/AH/HS";
+      run =
+        (fun () ->
+          sec3_figure ~title:"Figure 9: SOR speedups, AS/AH/HS" (sor_sim ())) };
+    { id = "f10"; title = "Figure 10: TSP on AS/AH/HS";
+      run =
+        (fun () ->
+          sec3_figure ~title:"Figure 10: TSP speedups, AS/AH/HS" (tsp_sim ())) };
+    { id = "f11"; title = "Figure 11: M-Water on AS/AH/HS";
+      run =
+        (fun () ->
+          sec3_figure ~title:"Figure 11: M-Water speedups, AS/AH/HS"
+            (mwater_sim ())) };
+    { id = "f12"; title = "Figure 12: message totals"; run = messages_figure };
+    { id = "f13"; title = "Figure 13: data totals"; run = data_figure };
+    { id = "f14"; title = "Figure 14: AS SOR overhead sweep";
+      run =
+        (fun () ->
+          overhead_figure
+            ~title:
+              "Figure 14: SOR on AS, software-overhead sweep (fixed/per-word \
+               cycles)"
+            ~tag:"AS"
+            ~make_platform:(fun ov -> as_machine ~overhead:ov ())
+            (sor_sim ())) };
+    { id = "f15"; title = "Figure 15: AS M-Water overhead sweep";
+      run =
+        (fun () ->
+          overhead_figure
+            ~title:
+              "Figure 15: M-Water on AS, software-overhead sweep \
+               (fixed/per-word cycles)"
+            ~tag:"AS"
+            ~make_platform:(fun ov -> as_machine ~overhead:ov ())
+            (mwater_sim ())) };
+    { id = "f16"; title = "Figure 16: HS M-Water overhead sweep";
+      run =
+        (fun () ->
+          overhead_figure
+            ~title:
+              "Figure 16: M-Water on HS, software-overhead sweep \
+               (fixed/per-word cycles)"
+            ~tag:"HS"
+            ~make_platform:(fun ov -> hs_machine ~overhead:ov ())
+            (mwater_sim ())) };
+    { id = "ab1"; title = "Ablation: LRC vs IVY page DSM"; run = lrc_vs_ivy };
+    { id = "ab2"; title = "Ablation: lazy vs eager-invalidate RC";
+      run = lrc_vs_erc };
+    { id = "ab3"; title = "Ablation: SGI bus bandwidth"; run = sgi_bus_ablation };
+    { id = "ab4"; title = "Ablation: sharing patterns"; run = sharing_patterns };
+    { id = "micro"; title = "Bechamel micro-benchmarks"; run = micro };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--list" :: rest ->
+        list_only := true;
+        go rest
+    | "--skip-micro" :: rest ->
+        skip_micro := true;
+        go rest
+    | "--only" :: ids :: rest ->
+        only := String.split_on_char ',' (String.lowercase_ascii ids);
+        go rest
+    | "--scale" :: s :: rest ->
+        (match Registry.scale_of_string s with
+        | Some v -> scale := v
+        | None -> failwith (Printf.sprintf "unknown scale %S" s));
+        go rest
+    | "--full" :: rest ->
+        scale := Registry.Paper;
+        go rest
+    | "--quick" :: rest ->
+        scale := Registry.Quick;
+        go rest
+    | arg :: _ -> failwith (Printf.sprintf "unknown argument %S" arg)
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let () =
+  parse_args ();
+  if !list_only then
+    List.iter (fun e -> Printf.printf "%-6s %s\n" e.id e.title) experiments
+  else begin
+    let wanted e =
+      (match !only with [] -> true | ids -> List.mem e.id ids)
+      && not (!skip_micro && e.id = "micro")
+    in
+    let t0 = Unix.gettimeofday () in
+    Printf.printf "Reproduction harness: Cox et al., ISCA 1994 (scale = %s)\n\n"
+      (Registry.scale_name !scale);
+    List.iter
+      (fun e ->
+        if wanted e then begin
+          Printf.printf "=== %s: %s ===\n%!" (String.uppercase_ascii e.id)
+            e.title;
+          e.run ();
+          print_newline ()
+        end)
+      experiments;
+    Printf.printf "Total wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  end

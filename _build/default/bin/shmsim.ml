@@ -1,0 +1,160 @@
+(* shmsim: run any of the paper's applications on any simulated platform.
+
+   Examples:
+     shmsim run -a sor -p treadmarks -n 8
+     shmsim run -a m-water -p sgi -n 1,2,4,8 --scale quick
+     shmsim list *)
+
+module Registry = Shm_apps.Registry
+module Machines = Shm_platform.Machines
+module Platform = Shm_platform.Platform
+module Report = Shm_platform.Report
+module Table = Shm_stats.Table
+
+open Cmdliner
+
+let scale_conv =
+  let parse s =
+    match Registry.scale_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown scale %S" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Registry.scale_name s))
+
+let procs_conv =
+  let parse s =
+    try Ok (List.map int_of_string (String.split_on_char ',' s))
+    with Failure _ -> Error (`Msg "expected a comma-separated list of ints")
+  in
+  Arg.conv (parse, fun ppf l ->
+      Format.pp_print_string ppf (String.concat "," (List.map string_of_int l)))
+
+let app_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "a"; "app" ] ~docv:"APP"
+        ~doc:
+          (Printf.sprintf "Application to run; one of %s."
+             (String.concat ", " Registry.names)))
+
+let platform_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "p"; "platform" ] ~docv:"PLATFORM"
+        ~doc:
+          (Printf.sprintf "Platform model; one of %s."
+             (String.concat ", " Machines.names)))
+
+let procs_arg =
+  Arg.(
+    value & opt procs_conv [ 1 ]
+    & info [ "n"; "procs" ] ~docv:"N[,N...]"
+        ~doc:"Processor counts to run (speedups are relative to the first).")
+
+let scale_arg =
+  Arg.(
+    value & opt scale_conv Registry.Default
+    & info [ "scale" ] ~docv:"SCALE" ~doc:"Problem size: quick, default or paper.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print all raw counters.")
+
+let run_cmd =
+  let run app_name platform_name procs scale stats =
+    let app = Registry.app ~scale app_name in
+    let platform = Machines.get platform_name in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "%s on %s (%s scale)" app.name platform.Platform.name
+             (Registry.scale_name scale))
+        ~columns:[ "procs"; "seconds"; "speedup"; "msgs"; "kbytes"; "checksum" ]
+    in
+    let base = ref None in
+    List.iter
+      (fun n ->
+        let r = platform.Platform.run app ~nprocs:n in
+        let b = match !base with None -> base := Some r; r | Some b -> b in
+        Table.add_row table
+          [
+            string_of_int n;
+            Table.cell_f ~digits:4 (Report.seconds r);
+            Table.cell_speedup (Report.speedup ~base:b r);
+            string_of_int (Report.get r "net.msgs.total");
+            string_of_int (Report.get r "net.bytes.total" / 1024);
+            Printf.sprintf "%.6g" r.Report.checksum;
+          ];
+        if stats then begin
+          Printf.printf "--- counters (procs=%d)\n" n;
+          List.iter
+            (fun (k, v) -> Printf.printf "%-32s %d\n" k v)
+            r.Report.counters
+        end)
+      procs;
+    Table.print table
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run an application on a platform model")
+    Term.(const run $ app_arg $ platform_arg $ procs_arg $ scale_arg $ stats_arg)
+
+let list_cmd =
+  let list () =
+    print_endline "applications:";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Registry.names;
+    print_endline "platforms:";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Machines.names
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available applications and platforms")
+    Term.(const list $ const ())
+
+let compare_cmd =
+  let compare app_name procs scale =
+    let scale_apps = Registry.app ~scale in
+    let platforms =
+      [ "treadmarks"; "treadmarks-kernel"; "treadmarks-erc"; "ivy"; "sgi" ]
+    in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "%s across shared-memory implementations (%s scale)"
+             app_name (Registry.scale_name scale))
+        ~columns:[ "platform"; "procs"; "seconds"; "speedup"; "msgs"; "kbytes" ]
+    in
+    List.iter
+      (fun pname ->
+        let p = Machines.get pname in
+        let base = p.Platform.run (scale_apps app_name) ~nprocs:1 in
+        List.iter
+          (fun n ->
+            let r =
+              if n = 1 then base else p.Platform.run (scale_apps app_name) ~nprocs:n
+            in
+            Table.add_row table
+              [
+                p.Platform.name;
+                string_of_int n;
+                Table.cell_f ~digits:4 (Report.seconds r);
+                Table.cell_speedup (Report.speedup ~base r);
+                string_of_int (Report.get r "net.msgs.total");
+                string_of_int (Report.get r "net.bytes.total" / 1024);
+              ])
+          procs)
+      platforms;
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run one application on every software-DSM variant and the SGI")
+    Term.(const compare $ app_arg $ procs_arg $ scale_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "shmsim" ~version:"1.0"
+       ~doc:
+         "Software vs. hardware shared-memory implementation: simulation \
+          models from Cox et al., ISCA 1994")
+    [ run_cmd; list_cmd; compare_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/protocol_trace.ml: Array Format List Printf Shm_memsys Shm_net Shm_sim Shm_stats Shm_tmk String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Shm_apps Shm_platform

@@ -1,0 +1,1 @@
+examples/sor_study.ml: List Shm_apps Shm_platform Shm_stats

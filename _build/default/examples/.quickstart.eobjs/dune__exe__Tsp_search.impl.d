@@ -1,0 +1,1 @@
+examples/tsp_search.ml: List Printf Shm_apps Shm_platform Shm_stats

@@ -1,0 +1,1 @@
+examples/water_study.ml: List Shm_apps Shm_platform Shm_stats

@@ -1,0 +1,50 @@
+(* TSP and the not-properly-labeled bound (paper Section 2.4.3).
+
+     dune exec examples/tsp_search.exe
+
+   TSP updates the global minimum-tour bound under a lock but reads it
+   without synchronization.  Under lazy release consistency a processor
+   keeps pruning against a stale bound until its next acquire, so it may
+   explore subtrees that are already known to be useless.  The paper's
+   fix is an eager release on the bound lock: the release pushes the new
+   bound to every processor immediately.  Hardware coherence invalidates
+   the stale copies automatically, which is why the SGI can even go
+   super-linear (better bounds earlier prune more than the sequential
+   run). *)
+
+module Tsp = Shm_apps.Tsp
+module Machines = Shm_platform.Machines
+module Platform = Shm_platform.Platform
+module Report = Shm_platform.Report
+module Table = Shm_stats.Table
+
+let () =
+  let p = Tsp.params_n 13 in
+  let optimal = Tsp.optimal_length p in
+  Printf.printf "13-city Euclidean instance; optimal tour length = %.0f\n\n"
+    optimal;
+  let table =
+    Table.create ~title:"TSP, 8 processors: bound propagation strategies"
+      ~columns:[ "platform"; "time (s)"; "speedup"; "msgs"; "optimal found" ]
+  in
+  List.iter
+    (fun pname ->
+      let app = Tsp.make p in
+      let platform = Machines.get pname in
+      let base = platform.Platform.run app ~nprocs:1 in
+      let r = platform.Platform.run app ~nprocs:8 in
+      Table.add_row table
+        [
+          platform.Platform.name
+          ^ (if pname = "treadmarks-eager" then " (eager bound)" else "");
+          Table.cell_f ~digits:3 (Report.seconds r);
+          Table.cell_speedup (Report.speedup ~base r);
+          Table.cell_i (Report.get r "net.msgs.total");
+          (if r.Report.checksum = optimal then "yes" else "NO");
+        ])
+    [ "treadmarks"; "treadmarks-eager"; "sgi" ];
+  Table.print table;
+  print_endline
+    "\nAll three executions find the optimal tour — stale bounds cause\n\
+     redundant work, never wrong answers (branch-and-bound only ever\n\
+     prunes against an upper bound)."

@@ -1,0 +1,1 @@
+lib/apps/ilink.ml: Array Float Layout Printf Shm_memsys Shm_parmacs Shm_sim

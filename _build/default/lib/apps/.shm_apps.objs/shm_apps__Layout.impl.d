@@ -1,0 +1,1 @@
+lib/apps/layout.ml:

@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Ilink Patterns Printf Sor Tsp Water

@@ -1,0 +1,1 @@
+lib/apps/sor.ml: Layout Printf Shm_memsys Shm_parmacs

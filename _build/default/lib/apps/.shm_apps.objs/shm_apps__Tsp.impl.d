@@ -1,0 +1,1 @@
+lib/apps/tsp.ml: Array Layout Printf Shm_memsys Shm_parmacs Shm_sim

@@ -1,0 +1,1 @@
+lib/apps/water.mli: Shm_parmacs

@@ -1,0 +1,35 @@
+(** ILINK-like genetic linkage analysis kernel (paper Section 2.3).
+
+    The real ILINK iteratively maximizes the likelihood of disease-gene
+    location over pedigree data: each optimizer iteration evaluates
+    per-family likelihoods in parallel (separated by barriers), then a
+    master updates the recombination-fraction estimate that every worker
+    reads.  Family peeling costs are data-dependent and cannot be
+    load-balanced in advance.
+
+    This kernel reproduces that skeleton with synthetic pedigrees
+    (substitution documented in DESIGN.md): per-family computation charges
+    a deterministic, family-specific cost, writes a per-family result
+    vector read back by the master, and iterations are fenced by barriers.
+
+    Two inputs mirror the paper's best and worst cases:
+    - [Clp]: few large families, balanced, low communication;
+    - [Bad]: many families with heavy-tailed costs, imbalanced, with
+      larger result vectors — higher barrier and data rates. *)
+
+type input = Clp | Bad
+
+type params = {
+  input : input;
+  iters : int;
+  seed : int;
+  scale : float;  (** multiplies family compute costs *)
+}
+
+val default_params : input -> params
+
+val make : params -> Shm_parmacs.Parmacs.app
+
+(** [family_costs params] is the synthetic per-family cycle cost vector
+    (exposed for load-balance analysis in examples). *)
+val family_costs : params -> int array

@@ -1,0 +1,15 @@
+type t = { mutable next : int }
+
+let create () = { next = 0 }
+
+let alloc t words =
+  let base = t.next in
+  t.next <- base + words;
+  base
+
+let alloc_aligned t words ~align =
+  let base = (t.next + align - 1) / align * align in
+  t.next <- base + words;
+  base
+
+let size t = t.next

@@ -1,0 +1,35 @@
+(** Sharing-pattern microbenchmarks — the classic DSM characterization
+    workloads (Munin's taxonomy), used to show which coherence strategy
+    suits which access pattern:
+
+    - [Migratory]: one record travels processor to processor under a lock
+      (read-modify-write each visit);
+    - [Producer_consumer]: one processor fills a buffer each round, the
+      rest read it after a barrier;
+    - [False_sharing]: every processor updates its own word, all words on
+      one page — harmless under multiple-writer LRC, page ping-pong under
+      single-writer protocols, line bouncing under hardware coherence;
+    - [Read_mostly]: a table written once then read by everyone.
+
+    Every processor does a fixed amount of per-round work, so the
+    interesting metric is {e efficiency} (time at 1 processor / time at N
+    processors): 1.0 means the coherence machinery was free.
+
+    Checksums are deterministic, so every platform must agree. *)
+
+type kind = Migratory | Producer_consumer | False_sharing | Read_mostly
+
+val kind_name : kind -> string
+
+val all_kinds : kind list
+
+type params = {
+  kind : kind;
+  rounds : int;
+  words : int;  (** payload size per round *)
+  compute : int;  (** cycles of work per item touched *)
+}
+
+val default_params : kind -> params
+
+val make : params -> Shm_parmacs.Parmacs.app

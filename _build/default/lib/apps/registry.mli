@@ -1,0 +1,18 @@
+(** Named application instances at three problem scales, shared by the
+    CLI, the examples and the benchmark harness. *)
+
+type scale = Quick | Default | Paper
+
+val scale_of_string : string -> scale option
+
+val scale_name : scale -> string
+
+(** Canonical application names: ["sor"], ["sor-square"], ["sor-touchall"],
+    ["tsp"], ["tsp-small"], ["water"], ["m-water"], ["ilink-clp"],
+    ["ilink-bad"], plus the sharing-pattern microbenchmarks ["migratory"],
+    ["producer-consumer"], ["false-sharing"], ["read-mostly"]. *)
+val names : string list
+
+(** [app ~scale name] builds the instance.
+    @raise Not_found for an unknown name. *)
+val app : scale:scale -> string -> Shm_parmacs.Parmacs.app

@@ -1,0 +1,41 @@
+(** Branch-and-bound travelling salesman (paper Section 2.3).
+
+    A shared, lock-protected queue holds partial tours; workers pop a
+    tour, extend it, and either push the children back or, past a depth
+    threshold, solve the subtree with a sequential DFS.  The global bound
+    is {e updated} under a lock but {e read} without synchronization — the
+    program is not properly labelled, so on lazy release consistency a
+    processor can prune against a stale bound and do redundant work
+    (Section 2.4.3).  The bound lock is tagged as an eager-release hint;
+    platforms run it eagerly when asked, reproducing the paper's fix.
+
+    The final bound is the optimal tour length, identical on every
+    platform regardless of timing. *)
+
+type params = {
+  ncities : int;
+  seed : int;
+  expand_depth : int;  (** tours shorter than this are split, not solved *)
+  queue_capacity : int;
+  node_cycles : int;  (** compute cost of extending a tour by one city *)
+}
+
+val default_params : params
+
+(** [params_n ncities] scales the depth and capacity sensibly. *)
+val params_n : int -> params
+
+val make : params -> Shm_parmacs.Parmacs.app
+
+(** Exhaustive check value: optimal tour length via the same sequential
+    DFS, for validation. *)
+val optimal_length : params -> float
+
+(** Length of the greedy nearest-neighbour tour used as the initial
+    bound; the gap to optimal drives how much bound propagation matters. *)
+val greedy_length : params -> float
+
+(** Lock ids, exposed for experiment configuration. *)
+val queue_lock : int
+
+val bound_lock : int

@@ -1,0 +1,193 @@
+module Parmacs = Shm_parmacs.Parmacs
+module Memory = Shm_memsys.Memory
+module Prng = Shm_sim.Prng
+
+type mode = Locked | Batched
+
+type params = {
+  molecules : int;
+  steps : int;
+  mode : mode;
+  seed : int;
+  pair_cycles : int;  (* compute cost of one molecule-molecule interaction *)
+}
+
+(* A molecule-molecule interaction in real Water evaluates nine atom-pair
+   distances and transcendental terms: hundreds of microseconds on a
+   40 MHz R3000. *)
+let default_pair_cycles = 16000
+
+let default_params mode =
+  { molecules = 192; steps = 2; mode; seed = 17;
+    pair_cycles = default_pair_cycles }
+
+let params_paper mode = { (default_params mode) with molecules = 288; steps = 5 }
+
+let molecule_lock m = m
+
+let integrate_compute_cycles = 200
+
+let page_words = 512
+let dt = 1e-3
+
+type layout = {
+  pos : int;
+  vel : int;
+  force : int;
+  partials : int;
+  checksum : int;
+  words : int;
+}
+
+let layout_of p =
+  let l = Layout.create () in
+  let n3 = p.molecules * 3 in
+  let pos = Layout.alloc l n3 in
+  let vel = Layout.alloc l n3 in
+  let force = Layout.alloc l n3 in
+  let partials = Layout.alloc_aligned l (64 * page_words) ~align:page_words in
+  let checksum = Layout.alloc l 1 in
+  { pos; vel; force; partials; checksum; words = Layout.size l }
+
+let init p lay mem =
+  let rng = Prng.create ~seed:p.seed in
+  let side = int_of_float (ceil (float_of_int p.molecules ** (1. /. 3.))) in
+  for m = 0 to p.molecules - 1 do
+    let gx = m mod side
+    and gy = m / side mod side
+    and gz = m / (side * side) in
+    let jitter () = 0.1 *. Prng.float rng 1.0 in
+    Memory.set_float mem (lay.pos + (3 * m)) (float_of_int gx +. jitter ());
+    Memory.set_float mem (lay.pos + (3 * m) + 1) (float_of_int gy +. jitter ());
+    Memory.set_float mem (lay.pos + (3 * m) + 2) (float_of_int gz +. jitter ());
+    for k = 0 to 2 do
+      Memory.set_float mem (lay.vel + (3 * m) + k) 0.0;
+      Memory.set_float mem (lay.force + (3 * m) + k) 0.0
+    done
+  done
+
+(* Lennard-Jones-like force between two points; [d] is their separation. *)
+let lj (dx, dy, dz) =
+  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 0.01 in
+  let inv_r2 = 1.0 /. r2 in
+  let inv_r6 = inv_r2 *. inv_r2 *. inv_r2 in
+  let scale = 24.0 *. inv_r6 *. ((2.0 *. inv_r6) -. 1.0) *. inv_r2 in
+  (* Clamp to keep the toy integrator stable. *)
+  let scale = Float.max (-10.0) (Float.min 10.0 scale) in
+  (scale *. dx, scale *. dy, scale *. dz)
+
+let work p lay (ctx : Parmacs.ctx) =
+  assert (ctx.nprocs <= 64);
+  let n = p.molecules in
+  let lo = n * ctx.id / ctx.nprocs and hi = n * (ctx.id + 1) / ctx.nprocs in
+  let read3 base m =
+    let a = base + (3 * m) in
+    let x = Parmacs.read_f ctx a in
+    let y = Parmacs.read_f ctx (a + 1) in
+    let z = Parmacs.read_f ctx (a + 2) in
+    (x, y, z)
+  in
+  let add_force_locked m (fx, fy, fz) =
+    ctx.lock (molecule_lock m);
+    let a = lay.force + (3 * m) in
+    Parmacs.write_f ctx a (Parmacs.read_f ctx a +. fx);
+    Parmacs.write_f ctx (a + 1) (Parmacs.read_f ctx (a + 1) +. fy);
+    Parmacs.write_f ctx (a + 2) (Parmacs.read_f ctx (a + 2) +. fz);
+    ctx.unlock (molecule_lock m)
+  in
+  let acc = Array.make (3 * n) 0.0 in
+  let acc_touched = Array.make n false in
+  for _step = 1 to p.steps do
+    (* Phase 1: owners clear their molecules' force records. *)
+    for m = lo to hi - 1 do
+      for k = 0 to 2 do
+        Parmacs.write_f ctx (lay.force + (3 * m) + k) 0.0
+      done
+    done;
+    ctx.barrier 1;
+    (* Phase 2: pairwise forces.  Processor [p] computes interactions of
+       its molecules with all higher-numbered ones. *)
+    Array.fill acc 0 (3 * n) 0.0;
+    Array.fill acc_touched 0 n false;
+    for i = lo to hi - 1 do
+      let xi, yi, zi = read3 lay.pos i in
+      for j = i + 1 to n - 1 do
+        let xj, yj, zj = read3 lay.pos j in
+        let fx, fy, fz = lj (xi -. xj, yi -. yj, zi -. zj) in
+        ctx.compute p.pair_cycles;
+        match p.mode with
+        | Locked ->
+            (* Original Water: one lock acquire per update of molecule j;
+               contributions to own molecule i batch until the j-loop ends. *)
+            add_force_locked j (-.fx, -.fy, -.fz);
+            acc.(3 * i) <- acc.(3 * i) +. fx;
+            acc.((3 * i) + 1) <- acc.((3 * i) + 1) +. fy;
+            acc.((3 * i) + 2) <- acc.((3 * i) + 2) +. fz
+        | Batched ->
+            acc.(3 * i) <- acc.(3 * i) +. fx;
+            acc.((3 * i) + 1) <- acc.((3 * i) + 1) +. fy;
+            acc.((3 * i) + 2) <- acc.((3 * i) + 2) +. fz;
+            acc.(3 * j) <- acc.(3 * j) -. fx;
+            acc.((3 * j) + 1) <- acc.((3 * j) + 1) -. fy;
+            acc.((3 * j) + 2) <- acc.((3 * j) + 2) -. fz;
+            acc_touched.(j) <- true
+      done;
+      acc_touched.(i) <- true
+    done;
+    (* Apply accumulated contributions: M-Water takes one lock per
+       molecule it updated; original Water already flushed the js.  Start
+       at the own segment and wrap so processors do not convoy on the
+       same molecule locks in the same order. *)
+    for k = 0 to n - 1 do
+      let m = (lo + k) mod n in
+      if acc_touched.(m) then
+        add_force_locked m (acc.(3 * m), acc.((3 * m) + 1), acc.((3 * m) + 2))
+    done;
+    ctx.barrier 1;
+    (* Phase 3: owners integrate their molecules. *)
+    for m = lo to hi - 1 do
+      let fx, fy, fz = read3 lay.force m in
+      let vx, vy, vz = read3 lay.vel m in
+      let vx = vx +. (fx *. dt) and vy = vy +. (fy *. dt) and vz = vz +. (fz *. dt) in
+      let a = lay.vel + (3 * m) in
+      Parmacs.write_f ctx a vx;
+      Parmacs.write_f ctx (a + 1) vy;
+      Parmacs.write_f ctx (a + 2) vz;
+      let xi, yi, zi = read3 lay.pos m in
+      let a = lay.pos + (3 * m) in
+      Parmacs.write_f ctx a (xi +. (vx *. dt));
+      Parmacs.write_f ctx (a + 1) (yi +. (vy *. dt));
+      Parmacs.write_f ctx (a + 2) (zi +. (vz *. dt));
+      ctx.compute integrate_compute_cycles
+    done;
+    ctx.barrier 1
+  done;
+  (* Checksum: per-processor digests over owned molecules. *)
+  let s = ref 0.0 in
+  for m = lo to hi - 1 do
+    let x, y, z = read3 lay.pos m in
+    let vx, vy, vz = read3 lay.vel m in
+    s := !s +. x +. y +. z +. vx +. vy +. vz
+  done;
+  Parmacs.write_f ctx (lay.partials + (ctx.id * page_words)) !s;
+  ctx.barrier 1;
+  if ctx.id = 0 then begin
+    let total = ref 0.0 in
+    for q = 0 to ctx.nprocs - 1 do
+      total := !total +. Parmacs.read_f ctx (lay.partials + (q * page_words))
+    done;
+    Parmacs.write_f ctx lay.checksum !total
+  end;
+  ctx.barrier 1
+
+let make p =
+  let lay = layout_of p in
+  let mode_name = match p.mode with Locked -> "water" | Batched -> "m-water" in
+  {
+    Parmacs.name = Printf.sprintf "%s-%d" mode_name p.molecules;
+    shared_words = lay.words;
+    eager_lock_hints = [];
+    init = init p lay;
+    work = work p lay;
+    checksum_addr = lay.checksum;
+  }

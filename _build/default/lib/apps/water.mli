@@ -1,0 +1,32 @@
+(** Water: n-body molecular dynamics in the style of the SPLASH code
+    (paper Section 2.3), in two synchronization flavours:
+
+    - [Locked] (the original Water): a processor acquires the lock on a
+      molecule's record {e each time} it adds a pairwise force
+      contribution — one lock acquire per interaction;
+    - [Batched] (M-Water, Section 2.3): contributions accumulate in a
+      private array during the step and are applied once per molecule at
+      the end, cutting lock acquires from O(pairs) to O(molecules).
+
+    On the SGI the two perform identically; on TreadMarks the lock rate
+    decides everything (Figures 7 and 8). *)
+
+type mode = Locked | Batched
+
+type params = {
+  molecules : int;
+  steps : int;
+  mode : mode;
+  seed : int;
+  pair_cycles : int;  (** compute cost of one pairwise interaction *)
+}
+
+val default_params : mode -> params
+
+(** The paper's input: 288 molecules, 5 steps. *)
+val params_paper : mode -> params
+
+val make : params -> Shm_parmacs.Parmacs.app
+
+(** Lock id protecting molecule [m]'s record. *)
+val molecule_lock : int -> int

@@ -1,0 +1,1 @@
+lib/ivy/proto.ml: Array Shm_net

@@ -1,0 +1,1 @@
+lib/ivy/proto.mli: Shm_net

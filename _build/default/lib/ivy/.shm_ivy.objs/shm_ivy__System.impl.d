@@ -1,0 +1,1 @@
+lib/ivy/system.ml: Array Fun Hashtbl Int List Option Printf Proto Queue Set Shm_memsys Shm_net Shm_sim Shm_stats

@@ -1,0 +1,1 @@
+lib/ivy/system.mli: Proto Shm_memsys Shm_net Shm_sim Shm_stats

@@ -1,0 +1,39 @@
+module Msg = Shm_net.Msg
+
+type page_data = int64 array
+
+type t =
+  | Read_req of { page : int; requester : int; req : int }
+  | Read_fwd of { page : int; requester : int; req : int }
+  | Page_copy of { page : int; req : int; data : page_data }
+  | Write_req of { page : int; requester : int; req : int }
+  | Invalidate of { page : int; req : int }
+  | Inval_ack of { page : int; req : int }
+  | Write_fwd of { page : int; requester : int; req : int }
+  | Page_grant of { page : int; req : int; data : page_data option }
+  | Txn_done of { page : int; requester : int; write : int }
+  | Lock_req of { lock : int; requester : int; req : int }
+  | Lock_grant of { lock : int; req : int }
+  | Unlock of { lock : int; requester : int }
+  | Barrier_arrive of { barrier : int; node : int; req : int }
+  | Barrier_depart of { barrier : int; req : int }
+
+let sizes = function
+  | Page_copy { data; _ } -> Msg.sizes ~payload:(8 * Array.length data) ()
+  | Page_grant { data = Some d; _ } -> Msg.sizes ~payload:(8 * Array.length d) ()
+  | Read_req _ | Read_fwd _ | Write_req _ | Invalidate _ | Inval_ack _
+  | Write_fwd _
+  | Page_grant { data = None; _ }
+  | Txn_done _ ->
+      Msg.sizes ~consistency:8 ()
+  | Lock_req _ | Lock_grant _ | Unlock _ | Barrier_arrive _ | Barrier_depart _
+    ->
+      Msg.sizes ~consistency:8 ()
+
+let class_ = function
+  | Lock_req _ | Lock_grant _ | Unlock _ | Barrier_arrive _ | Barrier_depart _
+    ->
+      Msg.Sync
+  | Read_req _ | Read_fwd _ | Page_copy _ | Write_req _ | Invalidate _
+  | Inval_ack _ | Write_fwd _ | Page_grant _ | Txn_done _ ->
+      Msg.Miss

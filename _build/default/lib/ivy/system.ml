@@ -1,0 +1,447 @@
+module Engine = Shm_sim.Engine
+module Mailbox = Shm_sim.Mailbox
+module Waitq = Shm_sim.Waitq
+module Fabric = Shm_net.Fabric
+module Msg = Shm_net.Msg
+module Memory = Shm_memsys.Memory
+module Counters = Shm_stats.Counters
+module Iset = Set.Make (Int)
+
+type page_access = Invalid | Read | Write
+
+type pending_txn = { kind : page_access; requester : int; req : int }
+
+(* Manager-side record for a page it manages. *)
+type mpage = {
+  mutable owner : int;
+  mutable copyset : Iset.t;
+  mutable busy : bool;
+  mutable acks_waited : int;
+  mutable current : pending_txn option;
+  waiting : pending_txn Queue.t;
+}
+
+type mlock = { mutable held : bool; lock_waiters : (int * int) Queue.t }
+
+type node = {
+  id : int;
+  mem : Memory.t;
+  access : page_access array;
+  mpages : (int, mpage) Hashtbl.t;  (** pages this node manages *)
+  mlocks : (int, mlock) Hashtbl.t;  (** locks this node manages *)
+  pending_reqs : (int, Proto.t Mailbox.t) Hashtbl.t;
+  mutable next_req : int;
+  inflight : (int, Waitq.t) Hashtbl.t;
+  steal : int ref;
+}
+
+type barrier_state = { mutable arrivals : (int * int) list }
+
+type t = {
+  eng : Engine.t;
+  counters : Counters.t;
+  fabric : Proto.t Fabric.t;
+  page_words : int;
+  n_pages : int;
+  n_nodes : int;
+  nodes : node array;
+  barriers : barrier_state array;
+  mutable page_hook : node:int -> page:int -> unit;
+}
+
+let page_of t addr = addr / t.page_words
+
+let memory t ~node = t.nodes.(node).mem
+
+let set_page_hook t f = t.page_hook <- f
+
+let manager_of t page = page mod t.n_nodes
+
+let lock_manager_of t lock = lock mod t.n_nodes
+
+let overhead t = (Fabric.config t.fabric).Fabric.overhead
+
+let create eng counters fabric ~page_words ~shared_words ~memories =
+  let n_nodes = Array.length memories in
+  let n_pages = (shared_words + page_words - 1) / page_words in
+  let mk_node id =
+    let mpages = Hashtbl.create 64 in
+    for p = 0 to n_pages - 1 do
+      if p mod n_nodes = id then
+        Hashtbl.add mpages p
+          {
+            owner = id;
+            copyset = Iset.of_list (List.init n_nodes Fun.id);
+            busy = false;
+            acks_waited = 0;
+            current = None;
+            waiting = Queue.create ();
+          }
+    done;
+    {
+      id;
+      mem = memories.(id);
+      access = Array.make n_pages Read;
+      mpages;
+      mlocks = Hashtbl.create 16;
+      pending_reqs = Hashtbl.create 16;
+      next_req = 0;
+      inflight = Hashtbl.create 8;
+      steal = ref 0;
+    }
+  in
+  (* The initial owner (the manager) holds each page in Read like everyone
+     else; ownership only matters once someone writes. *)
+  {
+    eng;
+    counters;
+    fabric;
+    page_words;
+    n_pages;
+    n_nodes;
+    nodes = Array.init n_nodes mk_node;
+    barriers = Array.init 16 (fun _ -> { arrivals = [] });
+    page_hook = (fun ~node:_ ~page:_ -> ());
+  }
+
+let fresh_req nd =
+  let r = nd.next_req in
+  nd.next_req <- r + 1;
+  r
+
+let register_req t nd req =
+  let mb = Mailbox.create t.eng in
+  Hashtbl.replace nd.pending_reqs req mb;
+  mb
+
+let drain_steal fiber nd =
+  let s = !(nd.steal) in
+  if s > 0 then begin
+    nd.steal := 0;
+    Engine.advance fiber s
+  end
+
+let page_data t nd page =
+  Array.init t.page_words (fun k ->
+      Memory.get nd.mem ((page * t.page_words) + k))
+
+let install_page t fiber nd page data =
+  Array.iteri
+    (fun k v -> Memory.set nd.mem ((page * t.page_words) + k) v)
+    data;
+  Engine.advance fiber t.page_words;
+  t.page_hook ~node:nd.id ~page
+
+(* Deliver [body] to [dst]: over the fabric, or by running the dispatch
+   inline when [dst] is the local node (no message, no cost). *)
+let rec deliver t fiber ~src ~dst body =
+  if src = dst then dispatch t fiber t.nodes.(dst) ~src body
+  else
+    Fabric.send t.fabric fiber ~src ~dst ~class_:(Proto.class_ body)
+      ~size:(Proto.sizes body) body
+
+(* ---------------- manager-side page state machine ------------------ *)
+
+and mgr_start_txn t fiber mgr page (txn : pending_txn) =
+  let mp = Hashtbl.find mgr.mpages page in
+  mp.busy <- true;
+  mp.current <- Some txn;
+  match txn.kind with
+  | Read ->
+      deliver t fiber ~src:mgr.id ~dst:mp.owner
+        (Proto.Read_fwd { page; requester = txn.requester; req = txn.req })
+  | Write ->
+      let invals =
+        Iset.remove txn.requester (Iset.remove mp.owner mp.copyset)
+      in
+      mp.acks_waited <- Iset.cardinal invals;
+      Counters.add t.counters "ivy.invalidations" mp.acks_waited;
+      if mp.acks_waited = 0 then mgr_proceed_write t fiber mgr page
+      else
+        Iset.iter
+          (fun dst ->
+            deliver t fiber ~src:mgr.id ~dst
+              (Proto.Invalidate { page; req = txn.req }))
+          invals
+  | Invalid -> assert false
+
+and mgr_proceed_write t fiber mgr page =
+  let mp = Hashtbl.find mgr.mpages page in
+  match mp.current with
+  | Some { requester; req; _ } ->
+      if mp.owner = requester then
+        (* Ownership upgrade: the requester already holds the data. *)
+        deliver t fiber ~src:mgr.id ~dst:requester
+          (Proto.Page_grant { page; req; data = None })
+      else
+        deliver t fiber ~src:mgr.id ~dst:mp.owner
+          (Proto.Write_fwd { page; requester; req })
+  | None -> failwith "ivy: write proceed without transaction"
+
+and mgr_request t fiber mgr page txn =
+  let mp = Hashtbl.find mgr.mpages page in
+  if mp.busy then Queue.push txn mp.waiting
+  else mgr_start_txn t fiber mgr page txn
+
+and mgr_txn_done t fiber mgr page ~requester ~write =
+  let mp = Hashtbl.find mgr.mpages page in
+  if write then begin
+    mp.owner <- requester;
+    mp.copyset <- Iset.singleton requester
+  end
+  else mp.copyset <- Iset.add requester mp.copyset;
+  mp.busy <- false;
+  mp.current <- None;
+  match Queue.take_opt mp.waiting with
+  | Some txn -> mgr_start_txn t fiber mgr page txn
+  | None -> ()
+
+(* ---------------- lock manager ------------------------------------- *)
+
+and mgr_lock_req t fiber mgr ~lock ~requester ~req =
+  let ml =
+    match Hashtbl.find_opt mgr.mlocks lock with
+    | Some ml -> ml
+    | None ->
+        let ml = { held = false; lock_waiters = Queue.create () } in
+        Hashtbl.add mgr.mlocks lock ml;
+        ml
+  in
+  if ml.held then Queue.push (requester, req) ml.lock_waiters
+  else begin
+    ml.held <- true;
+    deliver t fiber ~src:mgr.id ~dst:requester (Proto.Lock_grant { lock; req })
+  end
+
+and mgr_unlock t fiber mgr ~lock =
+  let ml = Hashtbl.find mgr.mlocks lock in
+  match Queue.take_opt ml.lock_waiters with
+  | Some (requester, req) ->
+      deliver t fiber ~src:mgr.id ~dst:requester
+        (Proto.Lock_grant { lock; req })
+  | None -> ml.held <- false
+
+(* ---------------- barrier manager ---------------------------------- *)
+
+and mgr_barrier_arrive t fiber mgr ~id ~node ~req =
+  let b = t.barriers.(id) in
+  b.arrivals <- (node, req) :: b.arrivals;
+  if List.length b.arrivals = t.n_nodes then begin
+    let arrivals = b.arrivals in
+    b.arrivals <- [];
+    List.iter
+      (fun (dst, dreq) ->
+        deliver t fiber ~src:mgr.id ~dst
+          (Proto.Barrier_depart { barrier = id; req = dreq }))
+      arrivals;
+    Counters.incr t.counters "ivy.barriers"
+  end
+
+(* ---------------- message dispatch --------------------------------- *)
+
+and route_response nd ~req body ~at =
+  match Hashtbl.find_opt nd.pending_reqs req with
+  | Some mb -> Mailbox.post mb ~at body
+  | None -> failwith "ivy: response without pending request"
+
+and dispatch t fiber nd ~src body =
+  ignore src;
+  match body with
+  | Proto.Read_req { page; requester; req } ->
+      mgr_request t fiber nd page { kind = Read; requester; req }
+  | Proto.Write_req { page; requester; req } ->
+      mgr_request t fiber nd page { kind = Write; requester; req }
+  | Proto.Read_fwd { page; requester; req } ->
+      (* We are the owner: downgrade and ship a copy. *)
+      if nd.access.(page) = Write then nd.access.(page) <- Read;
+      Engine.advance fiber t.page_words;
+      deliver t fiber ~src:nd.id ~dst:requester
+        (Proto.Page_copy { page; req; data = page_data t nd page });
+      Counters.incr t.counters "ivy.page_copies"
+  | Proto.Write_fwd { page; requester; req } ->
+      (* We are the owner: ship the page with ownership and drop it. *)
+      Engine.advance fiber t.page_words;
+      let data = Some (page_data t nd page) in
+      nd.access.(page) <- Invalid;
+      deliver t fiber ~src:nd.id ~dst:requester
+        (Proto.Page_grant { page; req; data });
+      Counters.incr t.counters "ivy.page_transfers"
+  | Proto.Invalidate { page; req } ->
+      nd.access.(page) <- Invalid;
+      deliver t fiber ~src:nd.id ~dst:(manager_of t page)
+        (Proto.Inval_ack { page; req })
+  | Proto.Inval_ack { page; _ } ->
+      let mp = Hashtbl.find nd.mpages page in
+      mp.acks_waited <- mp.acks_waited - 1;
+      if mp.acks_waited = 0 then mgr_proceed_write t fiber nd page
+  | Proto.Txn_done { page; requester; write } ->
+      mgr_txn_done t fiber nd page ~requester ~write:(write = 1)
+  | Proto.Lock_req { lock; requester; req } ->
+      mgr_lock_req t fiber nd ~lock ~requester ~req
+  | Proto.Unlock { lock; requester } ->
+      ignore requester;
+      mgr_unlock t fiber nd ~lock
+  | Proto.Barrier_arrive { barrier; node; req } ->
+      mgr_barrier_arrive t fiber nd ~id:barrier ~node ~req
+  | Proto.Page_copy { req; _ } | Proto.Page_grant { req; _ }
+  | Proto.Lock_grant { req; _ } | Proto.Barrier_depart { req; _ } ->
+      route_response nd ~req body ~at:(Engine.clock fiber)
+
+let handler_loop t nd fiber =
+  let ov = overhead t in
+  let rec loop () =
+    let env = Fabric.recv t.fabric fiber ~node:nd.id in
+    Engine.advance fiber ov.handler;
+    (* CPU time spent serving: charged back to the application unless the
+       message completes one of its own waits. *)
+    (match env.Msg.body with
+    | Proto.Page_copy _ | Proto.Page_grant _ | Proto.Lock_grant _
+    | Proto.Barrier_depart _ ->
+        ()
+    | _ -> nd.steal := !(nd.steal) + ov.handler + ov.fixed_recv);
+    dispatch t fiber nd ~src:env.Msg.src env.Msg.body;
+    loop ()
+  in
+  loop ()
+
+let start t =
+  Array.iter
+    (fun nd ->
+      ignore
+        (Engine.spawn t.eng ~daemon:true
+           ~name:(Printf.sprintf "ivy-handler-%d" nd.id)
+           ~at:0
+           (fun fiber -> handler_loop t nd fiber)))
+    t.nodes
+
+(* ---------------- application-facing operations -------------------- *)
+
+let fault t fiber nd page (kind : page_access) =
+  Engine.sync fiber;
+  drain_steal fiber nd;
+  let want_write = kind = Write in
+  let satisfied () =
+    match nd.access.(page) with
+    | Write -> true
+    | Read -> not want_write
+    | Invalid -> false
+  in
+  let rec wait_turn () =
+    match Hashtbl.find_opt nd.inflight page with
+    | Some wq when not (satisfied ()) ->
+        Waitq.wait fiber wq;
+        wait_turn ()
+    | Some _ | None -> ()
+  in
+  wait_turn ();
+  if not (satisfied ()) then begin
+    let wq = Waitq.create t.eng in
+    Hashtbl.replace nd.inflight page wq;
+    Counters.incr t.counters
+      (if want_write then "ivy.write_faults" else "ivy.read_faults");
+    Engine.advance fiber (overhead t).handler;
+    let req = fresh_req nd in
+    let mb = register_req t nd req in
+    let mgr = manager_of t page in
+    let body =
+      if want_write then Proto.Write_req { page; requester = nd.id; req }
+      else Proto.Read_req { page; requester = nd.id; req }
+    in
+    deliver t fiber ~src:nd.id ~dst:mgr body;
+    (match Mailbox.recv fiber mb with
+    | Proto.Page_copy { data; _ } ->
+        install_page t fiber nd page data;
+        nd.access.(page) <- Read
+    | Proto.Page_grant { data; _ } ->
+        Option.iter (install_page t fiber nd page) data;
+        nd.access.(page) <- Write
+    | _ -> failwith "ivy: unexpected fault response");
+    deliver t fiber ~src:nd.id ~dst:mgr
+      (Proto.Txn_done
+         { page; requester = nd.id; write = (if want_write then 1 else 0) });
+    Hashtbl.remove nd.pending_reqs req;
+    Hashtbl.remove nd.inflight page;
+    ignore (Waitq.wake_all wq ~at:(Engine.clock fiber))
+  end
+
+let read_guard t fiber ~node addr =
+  if t.n_nodes > 1 then begin
+    let nd = t.nodes.(node) in
+    let page = page_of t addr in
+    while nd.access.(page) = Invalid do
+      fault t fiber nd page Read
+    done
+  end
+
+let write_guard t fiber ~node addr =
+  (* A single process never write-protects pages. *)
+  if t.n_nodes > 1 then begin
+    let nd = t.nodes.(node) in
+    let page = page_of t addr in
+    while nd.access.(page) <> Write do
+      fault t fiber nd page Write
+    done
+  end
+
+let acquire t fiber ~node ~lock =
+  let nd = t.nodes.(node) in
+  Engine.sync fiber;
+  drain_steal fiber nd;
+  let req = fresh_req nd in
+  let mb = register_req t nd req in
+  deliver t fiber ~src:nd.id
+    ~dst:(lock_manager_of t lock)
+    (Proto.Lock_req { lock; requester = nd.id; req });
+  (match Mailbox.recv fiber mb with
+  | Proto.Lock_grant _ -> ()
+  | _ -> failwith "ivy: unexpected lock response");
+  Hashtbl.remove nd.pending_reqs req;
+  Counters.incr t.counters "ivy.lock_acquires"
+
+let release t fiber ~node ~lock =
+  let nd = t.nodes.(node) in
+  Engine.sync fiber;
+  drain_steal fiber nd;
+  deliver t fiber ~src:nd.id
+    ~dst:(lock_manager_of t lock)
+    (Proto.Unlock { lock; requester = nd.id })
+
+let barrier_arrive t fiber ~node ~id =
+  let nd = t.nodes.(node) in
+  Engine.sync fiber;
+  drain_steal fiber nd;
+  let req = fresh_req nd in
+  let mb = register_req t nd req in
+  deliver t fiber ~src:nd.id ~dst:0
+    (Proto.Barrier_arrive { barrier = id; node = nd.id; req });
+  (match Mailbox.recv fiber mb with
+  | Proto.Barrier_depart _ -> ()
+  | _ -> failwith "ivy: unexpected barrier response");
+  Hashtbl.remove nd.pending_reqs req
+
+let check_invariants t =
+  for page = 0 to t.n_pages - 1 do
+    let mgr = t.nodes.(manager_of t page) in
+    let mp = Hashtbl.find mgr.mpages page in
+    (* Owner must hold a valid copy (unless a transaction is in flight). *)
+    if not mp.busy then begin
+      if t.nodes.(mp.owner).access.(page) = Invalid then
+        failwith
+          (Printf.sprintf "ivy: page %d owner %d has no copy" page mp.owner);
+      Array.iter
+        (fun nd ->
+          match nd.access.(page) with
+          | Invalid -> ()
+          | Read ->
+              if not (Iset.mem nd.id mp.copyset) then
+                failwith
+                  (Printf.sprintf "ivy: page %d copy at %d not in copyset"
+                     page nd.id)
+          | Write ->
+              if nd.id <> mp.owner then
+                failwith
+                  (Printf.sprintf "ivy: page %d writer %d is not owner %d"
+                     page nd.id mp.owner))
+        t.nodes
+    end
+  done

@@ -1,0 +1,52 @@
+(** An IVY-style sequentially-consistent page-based DSM (Li & Hudak's
+    "Memory coherence in shared virtual memory systems", cited by the
+    paper as the classic software shared memory).
+
+    Contrast with TreadMarks ({!Shm_tmk.System}): one writer at a time per
+    page, whole-page transfers instead of diffs, invalidations on every
+    write fault instead of at synchronization points.  Two processors
+    writing disjoint halves of the same page ping-pong the full 4 KB back
+    and forth — the false-sharing failure mode that motivated
+    multiple-writer lazy release consistency.
+
+    Each page has a static manager tracking the owner and copyset;
+    transactions on a page serialize through the manager (queued when
+    busy), and write faults invalidate every copy (acked) before ownership
+    transfers.  Locks are centralized-manager queued locks; barriers a
+    centralized counter.  The usage discipline matches {!Shm_tmk.System}:
+    guard immediately before each access. *)
+
+type t
+
+val create :
+  Shm_sim.Engine.t ->
+  Shm_stats.Counters.t ->
+  Proto.t Shm_net.Fabric.t ->
+  page_words:int ->
+  shared_words:int ->
+  memories:Shm_memsys.Memory.t array ->
+  t
+
+val memory : t -> node:int -> Shm_memsys.Memory.t
+
+(** [set_page_hook t f]: [f ~node ~page] fires when a page's contents are
+    replaced (so platforms can invalidate cached lines). *)
+val set_page_hook : t -> (node:int -> page:int -> unit) -> unit
+
+val start : t -> unit
+
+val page_of : t -> int -> int
+
+val read_guard : t -> Shm_sim.Engine.fiber -> node:int -> int -> unit
+
+val write_guard : t -> Shm_sim.Engine.fiber -> node:int -> int -> unit
+
+val acquire : t -> Shm_sim.Engine.fiber -> node:int -> lock:int -> unit
+
+val release : t -> Shm_sim.Engine.fiber -> node:int -> lock:int -> unit
+
+val barrier_arrive : t -> Shm_sim.Engine.fiber -> node:int -> id:int -> unit
+
+(** [check_invariants t]: exactly one owner per page, owner's copy valid,
+    writers are owners, copysets cover every valid copy. *)
+val check_invariants : t -> unit

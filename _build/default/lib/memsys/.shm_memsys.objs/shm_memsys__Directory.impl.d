@@ -1,0 +1,1 @@
+lib/memsys/directory.ml: Array Cache Hashtbl Int Memory Option Printf Set Shm_sim Shm_stats

@@ -1,0 +1,1 @@
+lib/memsys/directory.mli: Memory Shm_sim Shm_stats

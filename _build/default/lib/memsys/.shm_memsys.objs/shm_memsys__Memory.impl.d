@@ -1,0 +1,1 @@
+lib/memsys/memory.ml: Array1 Bigarray Int64

@@ -1,0 +1,1 @@
+lib/memsys/private_cache.ml: Cache Shm_sim

@@ -1,0 +1,1 @@
+lib/memsys/private_cache.mli: Shm_sim

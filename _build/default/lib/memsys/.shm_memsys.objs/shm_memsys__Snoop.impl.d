@@ -1,0 +1,1 @@
+lib/memsys/snoop.ml: Array Cache Hashtbl List Memory Option Printf Shm_sim Shm_stats String

@@ -1,0 +1,1 @@
+lib/memsys/snoop.mli: Memory Shm_sim Shm_stats

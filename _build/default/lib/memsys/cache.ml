@@ -1,0 +1,88 @@
+type state = Invalid | Shared | Exclusive | Modified
+
+let state_name = function
+  | Invalid -> "I"
+  | Shared -> "S"
+  | Exclusive -> "E"
+  | Modified -> "M"
+
+type t = {
+  block_words : int;
+  lines : int;
+  tags : int array; (* resident block address per line; -1 = empty *)
+  states : state array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size_words ~block_words =
+  if size_words mod block_words <> 0 then
+    invalid_arg "Cache.create: size not a multiple of block size";
+  let lines = size_words / block_words in
+  {
+    block_words;
+    lines;
+    tags = Array.make lines (-1);
+    states = Array.make lines Invalid;
+    hits = 0;
+    misses = 0;
+  }
+
+let block_words t = t.block_words
+
+let lines t = t.lines
+
+let block_of t addr = addr - (addr mod t.block_words)
+
+let line_of t block = block / t.block_words mod t.lines
+
+let state_of t block =
+  let line = line_of t block in
+  if t.tags.(line) = block then t.states.(line) else Invalid
+
+let set_state t block state =
+  let line = line_of t block in
+  if t.tags.(line) <> block then
+    invalid_arg "Cache.set_state: block not resident";
+  t.states.(line) <- state
+
+let probe t addr = state_of t (block_of t addr)
+
+let insert t block state =
+  let line = line_of t block in
+  let old_tag = t.tags.(line) and old_state = t.states.(line) in
+  t.tags.(line) <- block;
+  t.states.(line) <- state;
+  if old_tag >= 0 && old_tag <> block && old_state <> Invalid then
+    Some (old_tag, old_state)
+  else None
+
+let peek_victim t block =
+  let line = line_of t block in
+  if t.tags.(line) >= 0 && t.tags.(line) <> block && t.states.(line) <> Invalid
+  then Some (t.tags.(line), t.states.(line))
+  else None
+
+let invalidate t block =
+  let line = line_of t block in
+  if t.tags.(line) = block then begin
+    let old = t.states.(line) in
+    t.states.(line) <- Invalid;
+    old
+  end
+  else Invalid
+
+let invalidate_all t =
+  Array.fill t.tags 0 t.lines (-1);
+  Array.fill t.states 0 t.lines Invalid
+
+let iter_valid t f =
+  for line = 0 to t.lines - 1 do
+    if t.tags.(line) >= 0 && t.states.(line) <> Invalid then
+      f t.tags.(line) t.states.(line)
+  done
+
+let hits t = t.hits
+let misses t = t.misses
+let note_hit t = t.hits <- t.hits + 1
+let note_miss t = t.misses <- t.misses + 1

@@ -1,0 +1,303 @@
+module Engine = Shm_sim.Engine
+module Resource = Shm_sim.Resource
+module Counters = Shm_stats.Counters
+module Iset = Set.Make (Int)
+
+type config = {
+  n_nodes : int;
+  cache_size_words : int;
+  cache_block_words : int;
+  local_miss_cycles : int;
+  remote_clean_cycles : int;
+  remote_dirty_cycles : int;
+  invalidation_cycles : int;
+  port_block_cycles : int;
+}
+
+let sim_config ~n_nodes =
+  {
+    n_nodes;
+    cache_size_words = 8192;
+    cache_block_words = 4;
+    local_miss_cycles = 20;
+    remote_clean_cycles = 90;
+    remote_dirty_cycles = 130;
+    invalidation_cycles = 20;
+    port_block_cycles = 16;
+  }
+
+type entry = Uncached | Shared_by of Iset.t | Owned_by of int
+
+type t = {
+  cfg : config;
+  mem : Memory.t;
+  counters : Counters.t;
+  caches : Cache.t array;
+  ports : Resource.t array;
+  directory : (int, entry) Hashtbl.t;
+}
+
+let create _eng counters mem cfg =
+  {
+    cfg;
+    mem;
+    counters;
+    caches =
+      Array.init cfg.n_nodes (fun _ ->
+          Cache.create ~size_words:cfg.cache_size_words
+            ~block_words:cfg.cache_block_words);
+    ports =
+      Array.init cfg.n_nodes (fun i ->
+          Resource.create ~name:(Printf.sprintf "port%d" i) ());
+    directory = Hashtbl.create 4096;
+  }
+
+let config t = t.cfg
+
+let memory t = t.mem
+
+let home_of t block = block / t.cfg.cache_block_words mod t.cfg.n_nodes
+
+let entry_of t block =
+  Option.value ~default:Uncached (Hashtbl.find_opt t.directory block)
+
+let set_entry t block e = Hashtbl.replace t.directory block e
+
+let block_bytes t = t.cfg.cache_block_words * 8
+
+let header_bytes = 16
+
+let count_msg t ~payload =
+  Counters.incr t.counters "dir.msgs";
+  Counters.add t.counters "dir.bytes" (header_bytes + payload)
+
+let port_use t fiber ~node ~cycles =
+  Engine.sync fiber;
+  let finish =
+    Resource.reserve t.ports.(node) ~ready:(Engine.clock fiber) ~cycles
+  in
+  Engine.set_clock fiber finish
+
+(* An eviction notifies the home so the directory stays exact for E/M
+   lines; dirty data travels back. *)
+let evict t fiber ~node victim =
+  match victim with
+  | None -> ()
+  | Some (vblock, vstate) -> (
+      match vstate with
+      | Cache.Invalid -> ()
+      | Cache.Shared ->
+          (* Silent: the directory keeps a (harmless) stale sharer bit. *)
+          ()
+      | Cache.Exclusive | Cache.Modified ->
+          (* Retire the line and the directory entry first — the port
+             occupancy below yields, and another node must be free to
+             claim the block meanwhile without us stomping it after. *)
+          ignore (Cache.invalidate t.caches.(node) vblock);
+          (match entry_of t vblock with
+          | Owned_by o when o = node -> set_entry t vblock Uncached
+          | Owned_by _ | Uncached | Shared_by _ -> ());
+          let home = home_of t vblock in
+          let dirty = vstate = Cache.Modified in
+          count_msg t ~payload:(if dirty then block_bytes t else 0);
+          Counters.incr t.counters
+            (if dirty then "dir.writebacks" else "dir.replacement_hints");
+          if home <> node && dirty then
+            port_use t fiber ~node:home ~cycles:t.cfg.port_block_cycles)
+
+let downgrade_owner t owner block =
+  (match Cache.state_of t.caches.(owner) block with
+  | Cache.Exclusive | Cache.Modified ->
+      Cache.set_state t.caches.(owner) block Cache.Shared
+  | Cache.Shared | Cache.Invalid -> ());
+  Counters.incr t.counters "dir.forwards"
+
+(* Charge the latency of a miss serviced at [home]; data moves through
+   [port] (the supplier's crossbar port) when remote. *)
+let charge_fetch t fiber ~node ~home ~port ~cycles =
+  Engine.advance fiber cycles;
+  if home <> node then begin
+    count_msg t ~payload:0;
+    count_msg t ~payload:(block_bytes t);
+    port_use t fiber ~node:port ~cycles:t.cfg.port_block_cycles
+  end
+
+(* Install [block] in [node]'s cache for reading.  Yield points (port
+   occupancy) can let competing transactions in, so the directory entry is
+   re-read after every yield and the transaction retried on interference. *)
+let rec fetch_for_read t fiber ~node block =
+  let cache = t.caches.(node) in
+  let home = home_of t block in
+  let local = home = node in
+  match entry_of t block with
+  | Owned_by owner when owner <> node ->
+      (* Dirty elsewhere: forward through the home to the owner. *)
+      Engine.advance fiber
+        (if local then t.cfg.remote_clean_cycles else t.cfg.remote_dirty_cycles);
+      count_msg t ~payload:0;
+      count_msg t ~payload:(block_bytes t);
+      port_use t fiber ~node:owner ~cycles:t.cfg.port_block_cycles;
+      (match entry_of t block with
+      | Owned_by o when o = owner ->
+          downgrade_owner t owner block;
+          set_entry t block (Shared_by (Iset.of_list [ owner; node ]));
+          ignore (Cache.insert cache block Cache.Shared)
+      | Owned_by _ | Uncached | Shared_by _ -> fetch_for_read t fiber ~node block)
+  | Owned_by _ (* self: cannot happen, evictions notify the home *)
+  | Uncached -> (
+      charge_fetch t fiber ~node ~home ~port:home
+        ~cycles:(if local then t.cfg.local_miss_cycles else t.cfg.remote_clean_cycles);
+      match entry_of t block with
+      | Uncached ->
+          set_entry t block (Owned_by node);
+          ignore (Cache.insert cache block Cache.Exclusive)
+      | Owned_by _ | Shared_by _ -> fetch_for_read t fiber ~node block)
+  | Shared_by _ -> (
+      charge_fetch t fiber ~node ~home ~port:home
+        ~cycles:(if local then t.cfg.local_miss_cycles else t.cfg.remote_clean_cycles);
+      match entry_of t block with
+      | Shared_by sharers ->
+          set_entry t block (Shared_by (Iset.add node sharers));
+          ignore (Cache.insert cache block Cache.Shared)
+      | Uncached | Owned_by _ -> fetch_for_read t fiber ~node block)
+
+let read t fiber ~node addr =
+  let cache = t.caches.(node) in
+  let block = Cache.block_of cache addr in
+  (match Cache.state_of cache block with
+  | Cache.Shared | Cache.Exclusive | Cache.Modified ->
+      Cache.note_hit cache;
+      Engine.advance fiber 1
+  | Cache.Invalid ->
+      Cache.note_miss cache;
+      Engine.sync fiber;
+      (* Retire the displaced line before the fill so the directory never
+         carries a stale owner across our yields. *)
+      evict t fiber ~node (Cache.peek_victim cache block);
+      fetch_for_read t fiber ~node block);
+  Memory.get t.mem addr
+
+(* Make the directory entry [Owned_by node], invalidating other copies.
+   Postcondition holds with no yield after the final state change. *)
+let rec acquire_exclusive t fiber ~node block =
+  let home = home_of t block in
+  let local = home = node in
+  match entry_of t block with
+  | Owned_by owner when owner = node -> ()
+  | Owned_by owner -> (
+      Engine.advance fiber
+        (if local then t.cfg.remote_clean_cycles else t.cfg.remote_dirty_cycles);
+      count_msg t ~payload:0;
+      count_msg t ~payload:(block_bytes t);
+      port_use t fiber ~node:owner ~cycles:t.cfg.port_block_cycles;
+      match entry_of t block with
+      | Owned_by o when o = owner ->
+          ignore (Cache.invalidate t.caches.(owner) block);
+          Counters.incr t.counters "dir.invalidations";
+          set_entry t block (Owned_by node)
+      | Owned_by _ | Uncached | Shared_by _ ->
+          acquire_exclusive t fiber ~node block)
+  | Uncached -> (
+      charge_fetch t fiber ~node ~home ~port:home
+        ~cycles:(if local then t.cfg.local_miss_cycles else t.cfg.remote_clean_cycles);
+      match entry_of t block with
+      | Uncached -> set_entry t block (Owned_by node)
+      | Owned_by _ | Shared_by _ -> acquire_exclusive t fiber ~node block)
+  | Shared_by sharers ->
+      (* Invalidations are state-only updates: no yield, so no retry. *)
+      let others = Iset.remove node sharers in
+      Engine.advance fiber
+        ((if local then t.cfg.local_miss_cycles else t.cfg.remote_clean_cycles)
+        + (t.cfg.invalidation_cycles * Iset.cardinal others));
+      if not local then begin
+        count_msg t ~payload:0;
+        count_msg t ~payload:(block_bytes t)
+      end;
+      Iset.iter
+        (fun s ->
+          ignore (Cache.invalidate t.caches.(s) block);
+          count_msg t ~payload:0;
+          Counters.incr t.counters "dir.invalidations")
+        others;
+      set_entry t block (Owned_by node)
+
+(* Obtain a Modified copy; atomic from the last internal yield. *)
+let rec ensure_modified t fiber ~node block =
+  let cache = t.caches.(node) in
+  match Cache.state_of cache block with
+  | Cache.Modified -> ()
+  | Cache.Exclusive -> Cache.set_state cache block Cache.Modified
+  | Cache.Shared | Cache.Invalid ->
+      evict t fiber ~node (Cache.peek_victim cache block);
+      acquire_exclusive t fiber ~node block;
+      ignore (Cache.insert cache block Cache.Modified);
+      ensure_modified t fiber ~node block
+
+let write t fiber ~node addr value =
+  let cache = t.caches.(node) in
+  let block = Cache.block_of cache addr in
+  (match Cache.state_of cache block with
+  | Cache.Modified ->
+      Cache.note_hit cache;
+      Engine.advance fiber 1
+  | Cache.Exclusive ->
+      Cache.note_hit cache;
+      Engine.advance fiber 1;
+      Cache.set_state cache block Cache.Modified
+  | Cache.Shared ->
+      Cache.note_hit cache;
+      Engine.sync fiber;
+      Engine.advance fiber 1;
+      ensure_modified t fiber ~node block
+  | Cache.Invalid ->
+      Cache.note_miss cache;
+      Engine.sync fiber;
+      ensure_modified t fiber ~node block);
+  Memory.set t.mem addr value
+
+let rmw t fiber ~node addr f =
+  Engine.sync fiber;
+  let cache = t.caches.(node) in
+  let block = Cache.block_of cache addr in
+  Engine.advance fiber 1;
+  ensure_modified t fiber ~node block;
+  (* We hold Modified and have not yielded since: the update is atomic. *)
+  let old = Memory.get t.mem addr in
+  Memory.set t.mem addr (f old);
+  old
+
+let check_invariants t =
+  Hashtbl.iter
+    (fun block entry ->
+      match entry with
+      | Uncached -> ()
+      | Owned_by owner ->
+          for n = 0 to t.cfg.n_nodes - 1 do
+            let st = Cache.state_of t.caches.(n) block in
+            if n = owner then begin
+              if st <> Cache.Exclusive && st <> Cache.Modified then
+                failwith
+                  (Printf.sprintf "dir: block %d owned by %d but state %s"
+                     block owner (Cache.state_name st))
+            end
+            else if st <> Cache.Invalid then
+              failwith
+                (Printf.sprintf "dir: block %d owned by %d but node %d has %s"
+                   block owner n (Cache.state_name st))
+          done
+      | Shared_by sharers ->
+          for n = 0 to t.cfg.n_nodes - 1 do
+            let st = Cache.state_of t.caches.(n) block in
+            match st with
+            | Cache.Modified | Cache.Exclusive ->
+                failwith
+                  (Printf.sprintf "dir: shared block %d has %s at node %d"
+                     block (Cache.state_name st) n)
+            | Cache.Shared ->
+                if not (Iset.mem n sharers) then
+                  failwith
+                    (Printf.sprintf "dir: block %d sharer %d not recorded"
+                       block n)
+            | Cache.Invalid -> ()
+          done)
+    t.directory

@@ -1,0 +1,51 @@
+(** Full-map directory-based cache coherence over a crossbar (the AH
+    architecture of paper Section 3).
+
+    Uniprocessor nodes each hold a 64 KB direct-mapped cache and a slice of
+    main memory (blocks interleaved across nodes).  Remote misses cost
+    90-130 processor cycles depending on where the block lives and whether
+    it is dirty (DASH/FLASH-like), plus crossbar port occupancy, so heavy
+    traffic to one home node still queues. *)
+
+type config = {
+  n_nodes : int;
+  cache_size_words : int;
+  cache_block_words : int;
+  local_miss_cycles : int;  (** miss satisfied by the local memory slice *)
+  remote_clean_cycles : int;  (** 2-hop: home supplies *)
+  remote_dirty_cycles : int;  (** 3-hop: forwarded to the dirty owner *)
+  invalidation_cycles : int;  (** extra per sharer invalidated *)
+  port_block_cycles : int;  (** crossbar port occupancy per block transfer *)
+}
+
+val sim_config : n_nodes:int -> config
+
+type t
+
+val create :
+  Shm_sim.Engine.t -> Shm_stats.Counters.t -> Memory.t -> config -> t
+
+val config : t -> config
+
+val memory : t -> Memory.t
+
+(** [home_of t block] is the node owning the directory entry and memory
+    slice for [block]. *)
+val home_of : t -> int -> int
+
+val read : t -> Shm_sim.Engine.fiber -> node:int -> int -> int64
+
+val write : t -> Shm_sim.Engine.fiber -> node:int -> int -> int64 -> unit
+
+(** Atomic read-modify-write (fetch-and-phi at the block's home). *)
+val rmw :
+  t -> Shm_sim.Engine.fiber -> node:int -> int -> (int64 -> int64) -> int64
+
+(** [port_use t fiber ~node ~cycles] occupies [node]'s crossbar port
+    (synchronization traffic modelled by the platform). *)
+val port_use : t -> Shm_sim.Engine.fiber -> node:int -> cycles:int -> unit
+
+(** [check_invariants t] asserts directory/cache agreement: an exclusive
+    entry has exactly that owner holding the block E/M; shared entries have
+    no E/M holder and record a superset of the actual holders. *)
+val check_invariants : t -> unit

@@ -1,0 +1,28 @@
+open Bigarray
+
+type t = (int64, int64_elt, c_layout) Array1.t
+
+let create ~words : t =
+  let a = Array1.create Int64 C_layout words in
+  Array1.fill a 0L;
+  a
+
+let words (t : t) = Array1.dim t
+
+let get (t : t) i = Array1.unsafe_get t i
+let set (t : t) i v = Array1.unsafe_set t i v
+
+let get_float t i = Int64.float_of_bits (get t i)
+let set_float t i v = set t i (Int64.bits_of_float v)
+
+let get_int t i = Int64.to_int (get t i)
+let set_int t i v = set t i (Int64.of_int v)
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  Array1.blit (Array1.sub src src_pos len) (Array1.sub dst dst_pos len)
+
+let copy_all ~src ~dst = Array1.blit src dst
+
+let equal_range a b ~pos ~len =
+  let rec loop i = i >= pos + len || (get a i = get b i && loop (i + 1)) in
+  loop pos

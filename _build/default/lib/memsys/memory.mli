@@ -1,0 +1,30 @@
+(** Word-addressed backing store.
+
+    All simulated shared memory is an array of 64-bit words.  Floats are
+    stored through their IEEE-754 bit pattern, so data moved by the
+    protocols (diffs, cache blocks) round-trips exactly.  Integers must fit
+    in an OCaml [int] (63 bits). *)
+
+type t
+
+val create : words:int -> t
+
+val words : t -> int
+
+val get : t -> int -> int64
+val set : t -> int -> int64 -> unit
+
+val get_float : t -> int -> float
+val set_float : t -> int -> float -> unit
+
+val get_int : t -> int -> int
+val set_int : t -> int -> int -> unit
+
+(** [blit ~src ~src_pos ~dst ~dst_pos ~len] copies [len] words. *)
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+(** [copy_all ~src ~dst] copies the whole store ([words] must match). *)
+val copy_all : src:t -> dst:t -> unit
+
+(** [equal_range a b ~pos ~len] checks word-for-word equality. *)
+val equal_range : t -> t -> pos:int -> len:int -> bool

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Msg Option Overhead Printf Shm_sim Shm_stats

@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Msg Overhead Shm_sim Shm_stats

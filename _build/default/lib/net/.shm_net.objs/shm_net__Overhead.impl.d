@@ -1,0 +1,1 @@
+lib/net/overhead.ml: Format

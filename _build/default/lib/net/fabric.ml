@@ -1,0 +1,96 @@
+module Engine = Shm_sim.Engine
+module Resource = Shm_sim.Resource
+module Mailbox = Shm_sim.Mailbox
+module Counters = Shm_stats.Counters
+
+type config = {
+  name : string;
+  latency_cycles : int;
+  bytes_per_cycle : float;
+  overhead : Overhead.t;
+}
+
+(* 155 Mbit/s user-limited to ~10 MB/s at 40 MHz: 0.25 bytes/cycle.
+   1 us switch latency = 40 cycles at 40 MHz. *)
+let atm_dec ~overhead =
+  { name = "atm-dec"; latency_cycles = 40; bytes_per_cycle = 0.25; overhead }
+
+(* 155 Mbit/s = ~19.4 MB/s at 100 MHz: 0.194 bytes/cycle; 1 us = 100 cycles. *)
+let atm_sim ~overhead =
+  { name = "atm-sim"; latency_cycles = 100; bytes_per_cycle = 0.194; overhead }
+
+(* 200 MB/s at 100 MHz = 2 bytes/cycle; 100 ns = 10 cycles. *)
+let crossbar_sim =
+  { name = "crossbar"; latency_cycles = 10; bytes_per_cycle = 2.0;
+    overhead = Overhead.hardware }
+
+type 'a t = {
+  eng : Engine.t;
+  counters : Counters.t;
+  cfg : config;
+  n : int;
+  tx : Resource.t array;
+  rx : Resource.t array;
+  inbox : 'a Msg.envelope Mailbox.t array;
+}
+
+let create eng counters cfg ~nodes =
+  {
+    eng;
+    counters;
+    cfg;
+    n = nodes;
+    tx = Array.init nodes (fun i -> Resource.create ~name:(Printf.sprintf "tx%d" i) ());
+    rx = Array.init nodes (fun i -> Resource.create ~name:(Printf.sprintf "rx%d" i) ());
+    inbox = Array.init nodes (fun _ -> Mailbox.create eng);
+  }
+
+let nodes t = t.n
+
+let config t = t.cfg
+
+let wire_cycles t bytes =
+  int_of_float (ceil (float_of_int bytes /. t.cfg.bytes_per_cycle))
+
+let data_words (size : Msg.sizes) =
+  (size.consistency_bytes + size.payload_bytes + 7) / 8
+
+let count t ~class_ ~(size : Msg.sizes) =
+  let c = t.counters in
+  Counters.incr c (Printf.sprintf "net.msgs.%s" (Msg.class_name class_));
+  Counters.incr c "net.msgs.total";
+  Counters.add c "net.bytes.header" size.header_bytes;
+  Counters.add c "net.bytes.consistency" size.consistency_bytes;
+  Counters.add c "net.bytes.payload" size.payload_bytes;
+  Counters.add c "net.bytes.total" (Msg.total_bytes size)
+
+let send t fiber ~src ~dst ~class_ ~size body =
+  if src = dst then invalid_arg "Fabric.send: src = dst";
+  count t ~class_ ~size;
+  let ov = t.cfg.overhead in
+  Engine.advance fiber (ov.fixed_send + (ov.per_word * data_words size));
+  Engine.sync fiber;
+  let bytes = Msg.total_bytes size in
+  let cycles = wire_cycles t bytes in
+  let tx_done =
+    Resource.reserve t.tx.(src) ~ready:(Engine.clock fiber) ~cycles
+  in
+  let arrival = tx_done + t.cfg.latency_cycles in
+  let delivered = Resource.reserve t.rx.(dst) ~ready:arrival ~cycles in
+  (* The sender is released once the message leaves its link. *)
+  Engine.set_clock fiber tx_done;
+  Mailbox.post t.inbox.(dst) ~at:delivered { Msg.src; dst; class_; size; body }
+
+let charge_recv t fiber (env : 'a Msg.envelope) =
+  let ov = t.cfg.overhead in
+  Engine.advance fiber (ov.fixed_recv + (ov.per_word * data_words env.size));
+  env
+
+let loopback t fiber ~node ~class_ ~size body =
+  Mailbox.post t.inbox.(node) ~at:(Engine.clock fiber)
+    { Msg.src = node; dst = node; class_; size; body }
+
+let recv t fiber ~node = charge_recv t fiber (Mailbox.recv fiber t.inbox.(node))
+
+let poll t fiber ~node =
+  Option.map (charge_recv t fiber) (Mailbox.poll fiber t.inbox.(node))

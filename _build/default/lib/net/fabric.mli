@@ -1,0 +1,70 @@
+(** Point-to-point interconnect with per-node link occupancy.
+
+    Models both the ATM LAN (each node has a dedicated full-duplex link to a
+    non-blocking switch, so disjoint pairs communicate in parallel but a
+    node's own links serialize) and, with different constants and zero
+    software overhead, the AH crossbar.
+
+    Sending charges the sender's fiber the software send cost, reserves the
+    sender's transmit link and the receiver's receive link for the wire
+    time, and posts the message to the receiver's mailbox.  Receiving
+    charges the consuming fiber the software receive cost. *)
+
+type 'a t
+
+type config = {
+  name : string;
+  latency_cycles : int;  (** switch/propagation latency *)
+  bytes_per_cycle : float;  (** per-link bandwidth *)
+  overhead : Overhead.t;
+}
+
+(** DECstation cluster: 40 MHz CPUs on 155 Mbit/s ATM (~10 MB/s user-level). *)
+val atm_dec : overhead:Overhead.t -> config
+
+(** Section-3 simulated ATM: 100 MHz CPUs, 155 Mbit/s links, 1 us latency. *)
+val atm_sim : overhead:Overhead.t -> config
+
+(** Section-3 crossbar: 200 Mbyte/s per link, 100 ns latency, no software. *)
+val crossbar_sim : config
+
+val create :
+  Shm_sim.Engine.t -> Shm_stats.Counters.t -> config -> nodes:int -> 'a t
+
+val nodes : 'a t -> int
+
+val config : 'a t -> config
+
+(** [send t fiber ~src ~dst ~class_ ~size body] transmits; the fiber's clock
+    ends when the message has left the sender (send overhead + local link
+    occupancy), not at delivery. *)
+val send :
+  'a t ->
+  Shm_sim.Engine.fiber ->
+  src:int ->
+  dst:int ->
+  class_:Msg.class_ ->
+  size:Msg.sizes ->
+  'a ->
+  unit
+
+(** [loopback t fiber ~node ~class_ ~size body] posts a message to the
+    node's own inbox at the fiber's current clock, free of wire time,
+    software overheads and traffic counters.  Protocol layers use it to
+    funnel a node's {e local} requests through its handler fiber so that
+    protocol state mutations serialize in one logical order. *)
+val loopback :
+  'a t ->
+  Shm_sim.Engine.fiber ->
+  node:int ->
+  class_:Msg.class_ ->
+  size:Msg.sizes ->
+  'a ->
+  unit
+
+(** [recv t fiber ~node] blocks until a message for [node] arrives and
+    charges the receive overhead. *)
+val recv : 'a t -> Shm_sim.Engine.fiber -> node:int -> 'a Msg.envelope
+
+(** [poll t fiber ~node] consumes a pending message without blocking. *)
+val poll : 'a t -> Shm_sim.Engine.fiber -> node:int -> 'a Msg.envelope option

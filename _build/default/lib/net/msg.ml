@@ -1,0 +1,25 @@
+type class_ = Miss | Sync
+
+type sizes = {
+  header_bytes : int;
+  consistency_bytes : int;
+  payload_bytes : int;
+}
+
+let default_header_bytes = 32
+
+let sizes ?(consistency = 0) ?(payload = 0) () =
+  { header_bytes = default_header_bytes; consistency_bytes = consistency;
+    payload_bytes = payload }
+
+let total_bytes s = s.header_bytes + s.consistency_bytes + s.payload_bytes
+
+let class_name = function Miss -> "miss" | Sync -> "sync"
+
+type 'a envelope = {
+  src : int;
+  dst : int;
+  class_ : class_;
+  size : sizes;
+  body : 'a;
+}

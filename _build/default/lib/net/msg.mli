@@ -1,0 +1,34 @@
+(** Message classification and size accounting.
+
+    The paper's Figures 12 and 13 break messages into {e miss} (data
+    movement: page/diff requests and responses) versus {e synchronization}
+    (locks and barriers), and data into {e miss data} (diff/page payload),
+    {e consistency data} (write notices, intervals, vector timestamps) and
+    {e message headers}. *)
+
+type class_ = Miss | Sync
+
+type sizes = {
+  header_bytes : int;
+  consistency_bytes : int;
+  payload_bytes : int;
+}
+
+(** Fixed protocol header carried by every message. *)
+val default_header_bytes : int
+
+(** [sizes ?consistency ?payload ()] with the default header. *)
+val sizes : ?consistency:int -> ?payload:int -> unit -> sizes
+
+val total_bytes : sizes -> int
+
+val class_name : class_ -> string
+
+(** ['a envelope] is a delivered message. *)
+type 'a envelope = {
+  src : int;
+  dst : int;
+  class_ : class_;
+  size : sizes;
+  body : 'a;
+}

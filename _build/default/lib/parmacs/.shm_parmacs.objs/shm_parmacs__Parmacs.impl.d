@@ -1,0 +1,1 @@
+lib/parmacs/parmacs.ml: Int64 Shm_memsys

@@ -1,0 +1,1 @@
+lib/parmacs/parmacs.mli: Shm_memsys

@@ -1,0 +1,46 @@
+module Memory = Shm_memsys.Memory
+
+type ctx = {
+  id : int;
+  nprocs : int;
+  read : int -> int64;
+  write : int -> int64 -> unit;
+  lock : int -> unit;
+  unlock : int -> unit;
+  barrier : int -> unit;
+  compute : int -> unit;
+}
+
+let read_f ctx addr = Int64.float_of_bits (ctx.read addr)
+let write_f ctx addr v = ctx.write addr (Int64.bits_of_float v)
+let read_i ctx addr = Int64.to_int (ctx.read addr)
+let write_i ctx addr v = ctx.write addr (Int64.of_int v)
+
+type app = {
+  name : string;
+  shared_words : int;
+  eager_lock_hints : int list;
+  init : Memory.t -> unit;
+  work : ctx -> unit;
+  checksum_addr : int;
+}
+
+let run_sequential app =
+  let mem = Memory.create ~words:app.shared_words in
+  app.init mem;
+  let ctx =
+    {
+      id = 0;
+      nprocs = 1;
+      read = Memory.get mem;
+      write = Memory.set mem;
+      lock = ignore;
+      unlock = ignore;
+      barrier = ignore;
+      compute = ignore;
+    }
+  in
+  app.work ctx;
+  mem
+
+let checksum_of mem app = Memory.get_float mem app.checksum_addr

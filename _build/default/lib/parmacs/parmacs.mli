@@ -1,0 +1,52 @@
+(** PARMACS-style parallel programming interface (ANL macros).
+
+    The paper's applications are written once against this interface and
+    run unchanged on every platform — TreadMarks over ATM, the SGI bus
+    machine, and the simulated AS/AH/HS systems — exactly as the original
+    programs ran on both the DECstation cluster and the 4D/480.
+
+    A processor's shared accesses go through [read]/[write] (which charge
+    simulated time and drive the platform's coherence machinery);
+    [compute] charges local computation.  Private scratch data is ordinary
+    OCaml state, its access cost folded into [compute] estimates. *)
+
+type ctx = {
+  id : int;  (** processor id, [0 .. nprocs-1] *)
+  nprocs : int;
+  read : int -> int64;  (** shared word read (guarded, timed) *)
+  write : int -> int64 -> unit;
+  lock : int -> unit;
+  unlock : int -> unit;
+  barrier : int -> unit;
+  compute : int -> unit;  (** charge local work, in cycles *)
+}
+
+(** {2 Typed access helpers} *)
+
+val read_f : ctx -> int -> float
+val write_f : ctx -> int -> float -> unit
+val read_i : ctx -> int -> int
+val write_i : ctx -> int -> int -> unit
+
+(** {2 Applications} *)
+
+type app = {
+  name : string;
+  shared_words : int;  (** size of the shared heap the app uses *)
+  eager_lock_hints : int list;
+      (** locks that platforms may run in eager-release mode when asked *)
+  init : Shm_memsys.Memory.t -> unit;
+      (** untimed sequential initialization of the shared image *)
+  work : ctx -> unit;  (** the timed parallel section, one call per CPU *)
+  checksum_addr : int;
+      (** float slot that processor 0 fills at the end of [work] with a
+          result digest, used to validate runs across platforms *)
+}
+
+(** [run_sequential app] executes the app untimed on a plain memory with
+    one processor and no-op synchronization; returns the final memory.
+    Reference results for validation. *)
+val run_sequential : app -> Shm_memsys.Memory.t
+
+(** [checksum_of mem app] reads the digest slot. *)
+val checksum_of : Shm_memsys.Memory.t -> app -> float

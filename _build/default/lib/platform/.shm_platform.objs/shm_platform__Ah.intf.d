@@ -1,0 +1,1 @@
+lib/platform/ah.mli: Platform

@@ -1,0 +1,1 @@
+lib/platform/dsm_cluster.ml: Array Platform Printf Report Shm_memsys Shm_net Shm_parmacs Shm_sim Shm_stats Shm_tmk

@@ -1,0 +1,1 @@
+lib/platform/dsm_cluster.mli: Platform Shm_net Shm_tmk

@@ -1,0 +1,1 @@
+lib/platform/hs.ml: Array Hashtbl Hw_sync Int64 Platform Printf Report Shm_memsys Shm_net Shm_parmacs Shm_sim Shm_stats Shm_tmk Sys

@@ -1,0 +1,1 @@
+lib/platform/hs.mli: Platform Shm_net

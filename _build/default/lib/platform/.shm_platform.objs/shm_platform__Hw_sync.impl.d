@@ -1,0 +1,1 @@
+lib/platform/hw_sync.ml: Hashtbl Int64 Shm_sim

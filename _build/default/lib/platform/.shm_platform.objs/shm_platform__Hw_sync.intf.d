@@ -1,0 +1,1 @@
+lib/platform/hw_sync.mli: Shm_sim

@@ -1,0 +1,1 @@
+lib/platform/ivy_cluster.ml: Array Platform Printf Report Shm_ivy Shm_memsys Shm_net Shm_parmacs Shm_sim Shm_stats

@@ -1,0 +1,1 @@
+lib/platform/ivy_cluster.mli: Platform

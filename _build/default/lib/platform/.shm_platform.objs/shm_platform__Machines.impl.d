@@ -1,0 +1,1 @@
+lib/platform/machines.ml: Ah Dsm_cluster Hs Ivy_cluster Printf Sgi Shm_tmk

@@ -1,0 +1,1 @@
+lib/platform/platform.ml: List Report Shm_parmacs

@@ -1,0 +1,1 @@
+lib/platform/platform.mli: Report Shm_parmacs

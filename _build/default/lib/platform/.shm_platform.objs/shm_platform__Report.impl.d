@@ -1,0 +1,1 @@
+lib/platform/report.ml: Format List Option

@@ -1,0 +1,1 @@
+lib/platform/sgi.ml: Array Hw_sync Platform Printf Report Shm_memsys Shm_parmacs Shm_sim Shm_stats

@@ -1,0 +1,58 @@
+module Engine = Shm_sim.Engine
+module Counters = Shm_stats.Counters
+module Memory = Shm_memsys.Memory
+module Directory = Shm_memsys.Directory
+module Parmacs = Shm_parmacs.Parmacs
+
+let make () =
+  let run (app : Parmacs.app) ~nprocs =
+    let eng = Engine.create () in
+    let counters = Counters.create () in
+    let total_words = app.shared_words + Hw_sync.region_words in
+    let mem = Memory.create ~words:total_words in
+    app.init mem;
+    let machine =
+      Directory.create eng counters mem (Directory.sim_config ~n_nodes:nprocs)
+    in
+    let access =
+      {
+        Hw_sync.rmw =
+          (fun f ~cpu addr g -> Directory.rmw machine f ~node:cpu addr g);
+        read =
+          (fun f ~cpu addr -> ignore (Directory.read machine f ~node:cpu addr));
+      }
+    in
+    let sync = Hw_sync.create eng access ~base:app.shared_words ~nprocs in
+    let ends = Array.make nprocs 0 in
+    for cpu = 0 to nprocs - 1 do
+      ignore
+        (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:0 (fun f ->
+             let ctx =
+               {
+                 Parmacs.id = cpu;
+                 nprocs;
+                 read = (fun addr -> Directory.read machine f ~node:cpu addr);
+                 write =
+                   (fun addr v -> Directory.write machine f ~node:cpu addr v);
+                 lock = (fun l -> Hw_sync.lock sync f ~cpu l);
+                 unlock = (fun l -> Hw_sync.unlock sync f ~cpu l);
+                 barrier = (fun b -> Hw_sync.barrier sync f ~cpu b);
+                 compute = (fun n -> Engine.advance f n);
+               }
+             in
+             app.work ctx;
+             ends.(cpu) <- Engine.clock f))
+    done;
+    Engine.run eng;
+    Directory.check_invariants machine;
+    {
+      Report.platform = "AH";
+      app = app.name;
+      nprocs;
+      cycles = Array.fold_left max 0 ends;
+      clock_mhz = 100.0;
+      checksum = Parmacs.checksum_of mem app;
+      counters = Counters.to_list counters;
+    }
+  in
+  { Platform.name = "AH"; clock_mhz = 100.0; max_procs = 256; run }

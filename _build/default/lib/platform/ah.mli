@@ -1,0 +1,4 @@
+(** The "All Hardware" design of paper Section 3: uniprocessor nodes on a
+    crossbar with directory-based cache coherence (DASH/FLASH-like). *)
+
+val make : unit -> Platform.t

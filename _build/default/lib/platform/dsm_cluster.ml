@@ -1,0 +1,146 @@
+module Engine = Shm_sim.Engine
+module Counters = Shm_stats.Counters
+module Fabric = Shm_net.Fabric
+module Overhead = Shm_net.Overhead
+module Memory = Shm_memsys.Memory
+module Private_cache = Shm_memsys.Private_cache
+module Config = Shm_tmk.Config
+module System = Shm_tmk.System
+module Parmacs = Shm_parmacs.Parmacs
+
+type level = User | Kernel
+
+let make ?(notice_policy = Config.Lazy) ~name ~clock_mhz ~max_procs ~fabric_of
+    ~cache_cfg ~eager () =
+  let run (app : Parmacs.app) ~nprocs =
+    let eng = Engine.create () in
+    let counters = Counters.create () in
+    let fabric = Fabric.create eng counters (fabric_of ()) ~nodes:nprocs in
+    (* Round up to whole pages: twins and diffs work page-at-a-time. *)
+    let shared_words = (app.shared_words + 511) / 512 * 512 in
+    let image = Memory.create ~words:shared_words in
+    app.init image;
+    let memories =
+      Array.init nprocs (fun _ ->
+          let m = Memory.create ~words:shared_words in
+          Memory.copy_all ~src:image ~dst:m;
+          m)
+    in
+    let cfg =
+      {
+        (Config.default ~n_nodes:nprocs ~shared_words) with
+        notice_policy;
+        eager_locks = (if eager then app.eager_lock_hints else []);
+      }
+    in
+    let sys = System.create eng counters fabric cfg ~memories in
+    let caches = Array.init nprocs (fun _ -> Private_cache.create cache_cfg) in
+    System.set_page_hook sys (fun ~node ~page ->
+        Private_cache.invalidate_range caches.(node)
+          ~addr:(page * cfg.page_words) ~words:cfg.page_words);
+    System.start sys;
+    let ends = Array.make nprocs 0 in
+    for node = 0 to nprocs - 1 do
+      ignore
+        (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" node) ~at:0 (fun f ->
+             let mem = memories.(node) and pc = caches.(node) in
+             let ctx =
+               {
+                 Parmacs.id = node;
+                 nprocs;
+                 read =
+                   (fun addr ->
+                     System.read_guard sys f ~node addr;
+                     Private_cache.read pc f addr;
+                     Memory.get mem addr);
+                 write =
+                   (fun addr v ->
+                     System.write_guard sys f ~node addr;
+                     Private_cache.write pc f addr;
+                     Memory.set mem addr v);
+                 lock = (fun l -> System.acquire sys f ~node ~lock:l);
+                 unlock = (fun l -> System.release sys f ~node ~lock:l);
+                 barrier = (fun b -> System.barrier_arrive sys f ~node ~id:b);
+                 compute = (fun n -> Engine.advance f n);
+               }
+             in
+             app.work ctx;
+             ends.(node) <- Engine.clock f))
+    done;
+    Engine.run eng;
+    {
+      Report.platform = name;
+      app = app.name;
+      nprocs;
+      cycles = Array.fold_left max 0 ends;
+      clock_mhz;
+      checksum = Parmacs.checksum_of memories.(0) app;
+      counters = Counters.to_list counters;
+    }
+  in
+  { Platform.name; clock_mhz; max_procs; run }
+
+let dec ?(eager = false) ?(notice_policy = Config.Lazy) ~level () =
+  let overhead, suffix =
+    match level with
+    | User -> (Overhead.treadmarks_user, "user")
+    | Kernel -> (Overhead.treadmarks_kernel, "kernel")
+  in
+  let suffix =
+    match notice_policy with
+    | Config.Lazy -> suffix
+    | Config.Eager_invalidate -> "erc"
+  in
+  make ~notice_policy
+    ~name:(Printf.sprintf "treadmarks-%s" suffix)
+    ~clock_mhz:40.0 ~max_procs:8
+    ~fabric_of:(fun () -> Fabric.atm_dec ~overhead)
+    ~cache_cfg:Private_cache.dec_config ~eager ()
+
+let as_machine ?(eager = false) ?(overhead = Overhead.treadmarks_user) () =
+  make ~name:"AS" ~clock_mhz:100.0 ~max_procs:256
+    ~fabric_of:(fun () -> Fabric.atm_sim ~overhead)
+    ~cache_cfg:Private_cache.sim_node_config ~eager ()
+
+let dec_plain () =
+  let run (app : Parmacs.app) ~nprocs =
+    if nprocs <> 1 then invalid_arg "dec_plain: uniprocessor only";
+    let eng = Engine.create () in
+    let mem = Memory.create ~words:app.shared_words in
+    app.init mem;
+    let cache = Private_cache.create Private_cache.dec_config in
+    let finish = ref 0 in
+    ignore
+      (Engine.spawn eng ~name:"cpu0" ~at:0 (fun f ->
+           let ctx =
+             {
+               Parmacs.id = 0;
+               nprocs = 1;
+               read =
+                 (fun addr ->
+                   Private_cache.read cache f addr;
+                   Memory.get mem addr);
+               write =
+                 (fun addr v ->
+                   Private_cache.write cache f addr;
+                   Memory.set mem addr v);
+               lock = ignore;
+               unlock = ignore;
+               barrier = ignore;
+               compute = (fun n -> Engine.advance f n);
+             }
+           in
+           app.work ctx;
+           finish := Engine.clock f));
+    Engine.run eng;
+    {
+      Report.platform = "dec";
+      app = app.name;
+      nprocs = 1;
+      cycles = !finish;
+      clock_mhz = 40.0;
+      checksum = Parmacs.checksum_of mem app;
+      counters = [];
+    }
+  in
+  { Platform.name = "dec"; clock_mhz = 40.0; max_procs = 1; run }

@@ -1,0 +1,29 @@
+(** DSM platforms: TreadMarks over an ATM LAN.
+
+    Two incarnations:
+    - [dec ~level]: the paper's experimental platform — DECstation-5000/240
+      workstations (40 MHz), with TreadMarks either at user level or moved
+      inside the Ultrix kernel (Section 2.4.4);
+    - [as_machine ~overhead]: the Section-3 "All Software" design — 100 MHz
+      uniprocessor nodes, with the messaging overhead swept for
+      Figures 14-15;
+    plus [dec_plain], a single DECstation without TreadMarks (the baseline
+    column of Table 1). *)
+
+type level = User | Kernel
+
+(** [eager] honours the app's eager-release lock hints (TSP bound);
+    [notice_policy] selects lazy (TreadMarks) or eager-invalidate
+    (conventional RC) write-notice propagation. *)
+val dec :
+  ?eager:bool ->
+  ?notice_policy:Shm_tmk.Config.notice_policy ->
+  level:level ->
+  unit ->
+  Platform.t
+
+val as_machine :
+  ?eager:bool -> ?overhead:Shm_net.Overhead.t -> unit -> Platform.t
+
+(** Plain DECstation: valid only for [nprocs = 1]. *)
+val dec_plain : unit -> Platform.t

@@ -1,0 +1,136 @@
+module Engine = Shm_sim.Engine
+module Waitq = Shm_sim.Waitq
+module Counters = Shm_stats.Counters
+module Fabric = Shm_net.Fabric
+module Overhead = Shm_net.Overhead
+module Memory = Shm_memsys.Memory
+module Snoop = Shm_memsys.Snoop
+module Config = Shm_tmk.Config
+module System = Shm_tmk.System
+module Parmacs = Shm_parmacs.Parmacs
+
+let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
+    ?(eager = false) () =
+  let name = Printf.sprintf "HS%d" node_cpus in
+  let run (app : Parmacs.app) ~nprocs =
+    let n_nodes = (nprocs + node_cpus - 1) / node_cpus in
+    let cpus_of_node n = min node_cpus (nprocs - (n * node_cpus)) in
+    let eng = Engine.create () in
+    let counters = Counters.create () in
+    let fabric =
+      Fabric.create eng counters (Fabric.atm_sim ~overhead) ~nodes:n_nodes
+    in
+    (* Round up to whole pages: twins and diffs work page-at-a-time. *)
+    let shared_words = (app.shared_words + 511) / 512 * 512 in
+    let image = Memory.create ~words:shared_words in
+    app.init image;
+    let total_words = shared_words + Hw_sync.region_words in
+    let memories =
+      Array.init n_nodes (fun _ ->
+          let m = Memory.create ~words:total_words in
+          Memory.blit ~src:image ~src_pos:0 ~dst:m ~dst_pos:0
+            ~len:shared_words;
+          m)
+    in
+    let cfg =
+      {
+        (Config.default ~n_nodes ~shared_words) with
+        eager_locks = (if eager then app.eager_lock_hints else []);
+      }
+    in
+    let sys = System.create eng counters fabric cfg ~memories in
+    let machines =
+      Array.init n_nodes (fun n ->
+          Snoop.create eng counters memories.(n)
+            (Snoop.hs_node_config ~n_cpus:(cpus_of_node n)))
+    in
+    System.set_page_hook sys (fun ~node ~page ->
+        Snoop.invalidate_range machines.(node)
+          ~addr:(page * cfg.page_words) ~words:cfg.page_words);
+    System.start sys;
+    (* Hierarchical barriers: an on-node counter in the node's sync region;
+       the last processor on the node performs the DSM-level arrival. *)
+    let counter_addr b = shared_words + Hw_sync.max_locks + b in
+    let gen_addr b =
+      shared_words + Hw_sync.max_locks + Hw_sync.max_barriers + b
+    in
+    let barrier_waitqs =
+      Array.init n_nodes (fun _ -> Hashtbl.create 8)
+    in
+    let waitq_of node b =
+      let tbl = barrier_waitqs.(node) in
+      match Hashtbl.find_opt tbl b with
+      | Some wq -> wq
+      | None ->
+          let wq = Waitq.create eng in
+          Hashtbl.add tbl b wq;
+          wq
+    in
+    let node_barrier f ~node ~cpu b =
+      let m = machines.(node) in
+      let arrived =
+        Int64.to_int (Snoop.rmw m f ~cpu (counter_addr b) Int64.succ) + 1
+      in
+      if arrived = cpus_of_node node then begin
+        ignore (Snoop.rmw m f ~cpu (counter_addr b) (fun _ -> 0L));
+        System.barrier_arrive sys f ~node ~id:b;
+        ignore (Snoop.rmw m f ~cpu (gen_addr b) Int64.succ);
+        ignore (Waitq.wake_all (waitq_of node b) ~at:(Engine.clock f))
+      end
+      else begin
+        Waitq.wait f (waitq_of node b);
+        ignore (Snoop.read m f ~cpu (gen_addr b))
+      end
+    in
+    let ends = Array.make nprocs 0 in
+    for p = 0 to nprocs - 1 do
+      let node = p / node_cpus in
+      let cpu = p mod node_cpus in
+      ignore
+        (Engine.spawn eng ~name:(Printf.sprintf "n%dc%d" node cpu) ~at:0
+           (fun f ->
+             let machine = machines.(node) in
+             let ctx =
+               {
+                 Parmacs.id = p;
+                 nprocs;
+                 read =
+                   (fun addr ->
+                     System.read_guard sys f ~node addr;
+                     Snoop.read machine f ~cpu addr);
+                 write =
+                   (fun addr v ->
+                     (* Bus transaction first (it can yield), the DSM guard
+                        second, the store immediately after: a same-node
+                        release yielding in between would otherwise close
+                        the interval and lose this write from its diff. *)
+                     Snoop.write_timing machine f ~cpu addr;
+                     System.write_guard sys f ~node addr;
+                     Memory.set memories.(node) addr v);
+                 lock = (fun l -> System.acquire sys f ~node ~lock:l);
+                 unlock = (fun l -> System.release sys f ~node ~lock:l);
+                 barrier = (fun b -> node_barrier f ~node ~cpu b);
+                 compute = (fun n -> Engine.advance f n);
+               }
+             in
+             app.work ctx;
+             ends.(p) <- Engine.clock f))
+    done;
+    (try Engine.run eng
+     with Shm_sim.Engine.Deadlock names ->
+       if Sys.getenv_opt "TMKDBG_LOCKS" <> None then
+         for l = 0 to 7 do
+           Printf.eprintf "lock %d: %s\n" l (System.dump_lock sys ~lock:l)
+         done;
+       raise (Shm_sim.Engine.Deadlock names));
+    {
+      Report.platform = name;
+      app = app.name;
+      nprocs;
+      cycles = Array.fold_left max 0 ends;
+      clock_mhz = 100.0;
+      checksum = Parmacs.checksum_of memories.(0) app;
+      counters = Counters.to_list counters;
+    }
+  in
+  { Platform.name; clock_mhz = 100.0; max_procs = 256; run }

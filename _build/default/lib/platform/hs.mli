@@ -1,0 +1,15 @@
+(** The "Hardware-Software" design of paper Section 3: bus-based
+    multiprocessor nodes (snooping coherence inside a node) connected by a
+    general-purpose network running TreadMarks between nodes.
+
+    The DSM layer treats each node as one unit: faults merge, co-located
+    processors' modifications coalesce into one diff, barriers are
+    hierarchical (on-node counter, one arrival message per node), and a
+    lock whose token is on-node is acquired without messages. *)
+
+val make :
+  ?node_cpus:int ->
+  ?overhead:Shm_net.Overhead.t ->
+  ?eager:bool ->
+  unit ->
+  Platform.t

@@ -1,0 +1,78 @@
+module Engine = Shm_sim.Engine
+module Counters = Shm_stats.Counters
+module Fabric = Shm_net.Fabric
+module Overhead = Shm_net.Overhead
+module Memory = Shm_memsys.Memory
+module Private_cache = Shm_memsys.Private_cache
+module Ivy = Shm_ivy.System
+module Parmacs = Shm_parmacs.Parmacs
+
+let page_words = 512
+
+let make () =
+  let run (app : Parmacs.app) ~nprocs =
+    let eng = Engine.create () in
+    let counters = Counters.create () in
+    let fabric =
+      Fabric.create eng counters
+        (Fabric.atm_dec ~overhead:Overhead.treadmarks_user)
+        ~nodes:nprocs
+    in
+    let shared_words = (app.shared_words + page_words - 1) / page_words * page_words in
+    let image = Memory.create ~words:shared_words in
+    app.init image;
+    let memories =
+      Array.init nprocs (fun _ ->
+          let m = Memory.create ~words:shared_words in
+          Memory.copy_all ~src:image ~dst:m;
+          m)
+    in
+    let sys = Ivy.create eng counters fabric ~page_words ~shared_words ~memories in
+    let caches =
+      Array.init nprocs (fun _ -> Private_cache.create Private_cache.dec_config)
+    in
+    Ivy.set_page_hook sys (fun ~node ~page ->
+        Private_cache.invalidate_range caches.(node) ~addr:(page * page_words)
+          ~words:page_words);
+    Ivy.start sys;
+    let ends = Array.make nprocs 0 in
+    for node = 0 to nprocs - 1 do
+      ignore
+        (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" node) ~at:0 (fun f ->
+             let mem = memories.(node) and pc = caches.(node) in
+             let ctx =
+               {
+                 Parmacs.id = node;
+                 nprocs;
+                 read =
+                   (fun addr ->
+                     Ivy.read_guard sys f ~node addr;
+                     Private_cache.read pc f addr;
+                     Memory.get mem addr);
+                 write =
+                   (fun addr v ->
+                     Ivy.write_guard sys f ~node addr;
+                     Private_cache.write pc f addr;
+                     Memory.set mem addr v);
+                 lock = (fun l -> Ivy.acquire sys f ~node ~lock:l);
+                 unlock = (fun l -> Ivy.release sys f ~node ~lock:l);
+                 barrier = (fun b -> Ivy.barrier_arrive sys f ~node ~id:b);
+                 compute = (fun n -> Engine.advance f n);
+               }
+             in
+             app.work ctx;
+             ends.(node) <- Engine.clock f))
+    done;
+    Engine.run eng;
+    Ivy.check_invariants sys;
+    {
+      Report.platform = "ivy";
+      app = app.name;
+      nprocs;
+      cycles = Array.fold_left max 0 ends;
+      clock_mhz = 40.0;
+      checksum = Parmacs.checksum_of memories.(0) app;
+      counters = Counters.to_list counters;
+    }
+  in
+  { Platform.name = "ivy"; clock_mhz = 40.0; max_procs = 64; run }

@@ -1,0 +1,6 @@
+(** The DECstation cluster running the IVY-style sequentially-consistent
+    page DSM instead of TreadMarks — the baseline software shared memory
+    that lazy release consistency was designed to improve on (an ablation
+    beyond the paper's own comparisons; see DESIGN.md). *)
+
+val make : unit -> Platform.t

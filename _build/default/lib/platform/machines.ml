@@ -1,0 +1,21 @@
+let names =
+  [
+    "dec"; "treadmarks"; "treadmarks-kernel"; "treadmarks-eager";
+    "treadmarks-erc"; "ivy"; "sgi"; "sgi-fast"; "as"; "ah"; "hs";
+  ]
+
+let get = function
+  | "dec" -> Dsm_cluster.dec_plain ()
+  | "treadmarks" -> Dsm_cluster.dec ~level:Dsm_cluster.User ()
+  | "treadmarks-kernel" -> Dsm_cluster.dec ~level:Dsm_cluster.Kernel ()
+  | "treadmarks-eager" -> Dsm_cluster.dec ~eager:true ~level:Dsm_cluster.User ()
+  | "treadmarks-erc" ->
+      Dsm_cluster.dec ~notice_policy:Shm_tmk.Config.Eager_invalidate
+        ~level:Dsm_cluster.User ()
+  | "ivy" -> Ivy_cluster.make ()
+  | "sgi" -> Sgi.make ()
+  | "sgi-fast" -> Sgi.make_fast ()
+  | "as" -> Dsm_cluster.as_machine ()
+  | "ah" -> Ah.make ()
+  | "hs" -> Hs.make ()
+  | name -> invalid_arg (Printf.sprintf "unknown platform %S" name)

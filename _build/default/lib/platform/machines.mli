@@ -1,0 +1,10 @@
+(** Named platform instances shared by the CLI, examples and benches. *)
+
+(** Canonical names: ["dec"], ["treadmarks"], ["treadmarks-kernel"],
+    ["treadmarks-eager"], ["treadmarks-erc"], ["ivy"], ["sgi"],
+    ["sgi-fast"], ["as"], ["ah"], ["hs"]. *)
+val names : string list
+
+(** [get name] builds the platform.
+    @raise Invalid_argument for an unknown name. *)
+val get : string -> Platform.t

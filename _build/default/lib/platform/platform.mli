@@ -1,0 +1,18 @@
+(** A runnable machine model: give it an application and a processor
+    count, get a timed, counted, checksummed report. *)
+
+type t = {
+  name : string;
+  clock_mhz : float;
+  max_procs : int;
+  run : Shm_parmacs.Parmacs.app -> nprocs:int -> Report.t;
+}
+
+(** [speedup_series t app ~procs] runs [app] at each processor count and
+    returns [(procs, speedup, report)] rows, speedups relative to the
+    1-processor run on the same platform. *)
+val speedup_series :
+  t ->
+  Shm_parmacs.Parmacs.app ->
+  procs:int list ->
+  (int * float * Report.t) list

@@ -1,0 +1,22 @@
+type t = {
+  platform : string;
+  app : string;
+  nprocs : int;
+  cycles : int;
+  clock_mhz : float;
+  checksum : float;
+  counters : (string * int) list;
+}
+
+let seconds t = float_of_int t.cycles /. (t.clock_mhz *. 1e6)
+
+let get t name =
+  Option.value ~default:0 (List.assoc_opt name t.counters)
+
+let rate t name = float_of_int (get t name) /. seconds t
+
+let speedup ~base t = float_of_int base.cycles /. float_of_int t.cycles
+
+let pp ppf t =
+  Format.fprintf ppf "%s/%s p=%d: %.4f s (%d cycles), checksum=%.6g"
+    t.platform t.app t.nprocs (seconds t) t.cycles t.checksum

@@ -1,0 +1,25 @@
+(** Result of one application run on one platform. *)
+
+type t = {
+  platform : string;
+  app : string;
+  nprocs : int;
+  cycles : int;  (** simulated cycles of the timed parallel section *)
+  clock_mhz : float;
+  checksum : float;
+  counters : (string * int) list;
+}
+
+val seconds : t -> float
+
+(** [get t name] is a counter value ([0] if absent). *)
+val get : t -> string -> int
+
+(** [rate t name] is the counter per simulated second. *)
+val rate : t -> string -> float
+
+(** [speedup ~base t] is [base.cycles / t.cycles] (base is usually the
+    1-processor run). *)
+val speedup : base:t -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+(** The SGI 4D/480 model: up to 8 processors with snooping (Illinois)
+    cache coherence over a shared bus — the paper's hardware platform. *)
+
+val make : unit -> Platform.t
+
+(** The paper's Section-2.5 hypothetical: dual cache tags and a bus twice
+    as fast relative to the processors. *)
+val make_fast : unit -> Platform.t

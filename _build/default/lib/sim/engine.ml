@@ -1,0 +1,126 @@
+exception Deadlock of string list
+
+type t = {
+  queue : (unit -> unit) Pqueue.t;
+  mutable time : int;
+  mutable live : int;
+  mutable next_fiber_id : int;
+  blocked : (int, fiber) Hashtbl.t; (* suspended fibers, for deadlock reports *)
+}
+
+and fiber = {
+  fid : int;
+  fname : string;
+  eng : t;
+  daemon : bool;
+  mutable fclock : int;
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable finished : bool;
+}
+
+type _ Effect.t +=
+  | Yield : fiber -> unit Effect.t
+  | Park : fiber -> unit Effect.t
+
+let create () =
+  { queue = Pqueue.create (); time = 0; live = 0; next_fiber_id = 0;
+    blocked = Hashtbl.create 64 }
+
+let now t = t.time
+
+let live_fibers t = t.live
+
+let schedule t ~at f =
+  let at = max at t.time in
+  Pqueue.push t.queue ~time:at f
+
+let clock f = f.fclock
+let name f = f.fname
+let id f = f.fid
+let engine f = f.eng
+
+let advance f n =
+  assert (n >= 0);
+  f.fclock <- f.fclock + n
+
+let set_clock f time = if time > f.fclock then f.fclock <- time
+
+let effc : type b. fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuation -> unit) option
+    =
+ fun _fiber eff ->
+  match eff with
+  | Yield f ->
+      Some
+        (fun k ->
+          schedule f.eng ~at:f.fclock (fun () -> Effect.Deep.continue k ()))
+  | Park f ->
+      Some
+        (fun k ->
+          f.cont <- Some k;
+          Hashtbl.replace f.eng.blocked f.fid f)
+  | _ -> None
+
+let spawn t ?(daemon = false) ~name ~at body =
+  let fiber =
+    { fid = t.next_fiber_id; fname = name; eng = t; daemon; fclock = at;
+      cont = None; finished = false }
+  in
+  t.next_fiber_id <- t.next_fiber_id + 1;
+  if not daemon then t.live <- t.live + 1;
+  let start () =
+    Effect.Deep.match_with
+      (fun () -> body fiber)
+      ()
+      {
+        retc =
+          (fun () ->
+            fiber.finished <- true;
+            if not daemon then t.live <- t.live - 1);
+        exnc =
+          (fun e ->
+            Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ()));
+        effc = (fun eff -> effc fiber eff);
+      }
+  in
+  schedule t ~at start;
+  fiber
+
+let run t =
+  while not (Pqueue.is_empty t.queue) do
+    let time, event = Pqueue.pop t.queue in
+    t.time <- time;
+    event ()
+  done;
+  if t.live > 0 then begin
+    let names =
+      Hashtbl.fold
+        (fun _ f acc ->
+          if f.finished || f.daemon then acc else f.fname :: acc)
+        t.blocked []
+    in
+    raise (Deadlock (List.sort compare names))
+  end
+
+let sync f =
+  (* Fast path: if nothing is scheduled before our clock, yielding would be
+     a no-op; skip the effect. *)
+  match Pqueue.min_time f.eng.queue with
+  | Some earliest when earliest <= f.fclock -> Effect.perform (Yield f)
+  | Some _ | None -> ()
+
+let wait_until f time =
+  set_clock f time;
+  sync f
+
+let suspend f = Effect.perform (Park f)
+
+let is_suspended f = f.cont <> None
+
+let resume t f ~at =
+  match f.cont with
+  | None -> invalid_arg (Printf.sprintf "Engine.resume: fiber %s not suspended" f.fname)
+  | Some k ->
+      f.cont <- None;
+      Hashtbl.remove t.blocked f.fid;
+      set_clock f at;
+      schedule t ~at:f.fclock (fun () -> Effect.Deep.continue k ())

@@ -1,0 +1,75 @@
+(** Discrete-event simulation kernel with cooperative fibers.
+
+    Each simulated processor is a {e fiber}: an OCaml function running under
+    an effect handler, carrying a private cycle clock.  Purely local work
+    ([advance]) just bumps the clock without touching the event queue; any
+    interaction with shared simulation state must be preceded by a yield
+    point ([sync], [wait_until], [suspend], or a blocking primitive built on
+    them) so that the engine dispatches interactions in global time order.
+
+    Determinism: events with equal times fire in insertion order. *)
+
+type t
+(** A simulation instance. *)
+
+type fiber
+(** A simulated thread of control (one per simulated processor or
+    protocol agent). *)
+
+exception Deadlock of string list
+(** Raised by [run] when the event queue drains while fibers are still
+    blocked; carries the blocked fibers' names. *)
+
+val create : unit -> t
+
+(** [now t] is the time of the most recently dispatched event. *)
+val now : t -> int
+
+(** [live_fibers t] is the number of spawned fibers that have not finished. *)
+val live_fibers : t -> int
+
+(** [spawn t ~name ~at body] creates a fiber whose [body] starts executing
+    at time [at].  A [daemon] fiber (e.g. a protocol message handler that
+    loops forever) does not count as live: the simulation ends normally
+    when only daemons remain blocked. *)
+val spawn : t -> ?daemon:bool -> name:string -> at:int -> (fiber -> unit) -> fiber
+
+(** [schedule t ~at f] runs plain callback [f] at time [at] (not a fiber;
+    [f] must not perform fiber effects). *)
+val schedule : t -> at:int -> (unit -> unit) -> unit
+
+(** [run t] dispatches events until none remain.  Exceptions raised inside
+    fibers propagate.  @raise Deadlock if blocked fibers remain. *)
+val run : t -> unit
+
+(** {2 Operations within a fiber} *)
+
+val clock : fiber -> int
+val name : fiber -> string
+val id : fiber -> int
+val engine : fiber -> t
+
+(** [advance f n] adds [n >= 0] cycles of local work to [f]'s clock.
+    No yield: cheap fast path for cache hits and computation. *)
+val advance : fiber -> int -> unit
+
+(** [set_clock f time] moves [f]'s clock forward to [time] (no-op if the
+    clock is already past it).  No yield. *)
+val set_clock : fiber -> int -> unit
+
+(** [sync f] re-enters the event queue at [f]'s current clock, letting every
+    event with an earlier time run first.  Call before touching shared
+    simulation state. *)
+val sync : fiber -> unit
+
+(** [wait_until f time] advances the clock to at least [time] and yields. *)
+val wait_until : fiber -> int -> unit
+
+(** [suspend f] parks the fiber until another party calls [resume]. *)
+val suspend : fiber -> unit
+
+(** [resume t f ~at] unparks [f], moving its clock forward to at least [at].
+    It is an error to resume a fiber that is not suspended. *)
+val resume : t -> fiber -> at:int -> unit
+
+val is_suspended : fiber -> bool

@@ -1,0 +1,74 @@
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q =
+  let cap = Array.length q.heap in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  (* The dummy entry at unused slots is never compared. *)
+  let dummy = q.heap.(0) in
+  let heap = Array.make new_cap dummy in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+let push q ~time value =
+  let entry = { time; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 entry;
+  if q.size = Array.length q.heap then grow q;
+  (* Sift up. *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  let heap = q.heap in
+  heap.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less entry heap.(parent) then begin
+      heap.(!i) <- heap.(parent);
+      heap.(parent) <- entry;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop q =
+  if q.size = 0 then raise Not_found;
+  let heap = q.heap in
+  let root = heap.(0) in
+  q.size <- q.size - 1;
+  let last = heap.(q.size) in
+  if q.size > 0 then begin
+    heap.(0) <- last;
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < q.size && less heap.(l) heap.(!smallest) then smallest := l;
+      if r < q.size && less heap.(r) heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = heap.(!i) in
+        heap.(!i) <- heap.(!smallest);
+        heap.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  (root.time, root.value)
+
+let min_time q = if q.size = 0 then None else Some q.heap.(0).time

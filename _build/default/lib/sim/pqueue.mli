@@ -1,0 +1,23 @@
+(** Binary min-heap priority queue keyed by [(time, seq)].
+
+    The sequence number is assigned internally at insertion, so two entries
+    with the same time pop in insertion order.  This is what makes the
+    simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push q ~time v] inserts [v] with key [time]. *)
+val push : 'a t -> time:int -> 'a -> unit
+
+(** [pop q] removes and returns the minimum entry as [(time, v)].
+    @raise Not_found if the queue is empty. *)
+val pop : 'a t -> int * 'a
+
+(** [min_time q] is the time of the minimum entry without removing it. *)
+val min_time : 'a t -> int option

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All workload generation in the repository goes through this module so
+    that a given seed always produces the same application data, independent
+    of the OCaml stdlib [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [split t] derives an independent stream; [t] advances. *)
+val split : t -> t
+
+(** [bits64 t] is the next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [gaussian t] is a standard normal deviate (Box-Muller). *)
+val gaussian : t -> float
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit

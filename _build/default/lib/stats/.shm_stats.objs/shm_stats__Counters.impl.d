@@ -1,0 +1,1 @@
+lib/stats/counters.ml: Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/stats/counters.mli: Format

@@ -1,0 +1,28 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let add t name n = cell t name := !(cell t name) + n
+
+let incr t name = add t name 1
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let merge ~into src = Hashtbl.iter (fun name r -> add into name !r) src
+
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let to_list t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-32s %d@." name v) (to_list t)

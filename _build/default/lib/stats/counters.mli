@@ -1,0 +1,25 @@
+(** Named integer counters.
+
+    Every subsystem (network, caches, DSM protocol) accumulates event counts
+    and byte counts here; the bench harness reads them back by name. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+(** [get t name] is the counter value, or [0] if never touched. *)
+val get : t -> string -> int
+
+(** [merge ~into src] adds every counter of [src] into [into]. *)
+val merge : into:t -> t -> unit
+
+val reset : t -> unit
+
+(** [to_list t] is the (name, value) pairs sorted by name. *)
+val to_list : t -> (string * int) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  let buf = Buffer.create 256 in
+  let line ch =
+    Array.iter (fun w -> Buffer.add_string buf (String.make (w + 2) ch)) widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (Printf.sprintf "%*s  " widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  line '-';
+  emit t.columns;
+  line '-';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+
+let cell_i v = string_of_int v
+
+let cell_speedup v = Printf.sprintf "%.2f" v

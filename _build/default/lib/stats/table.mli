@@ -1,0 +1,22 @@
+(** Fixed-width text tables for experiment reports. *)
+
+type t
+
+(** [create ~title ~columns] starts a table. *)
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+
+(** [render t] lays the table out with columns sized to fit. *)
+val render : t -> string
+
+val print : t -> unit
+
+(** {2 Cell formatting helpers} *)
+
+val cell_f : ?digits:int -> float -> string
+
+val cell_i : int -> string
+
+(** [cell_speedup s] renders a speedup such as ["5.31"]. *)
+val cell_speedup : float -> string

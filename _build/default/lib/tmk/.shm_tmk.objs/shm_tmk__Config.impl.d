@@ -1,0 +1,1 @@
+lib/tmk/config.ml:

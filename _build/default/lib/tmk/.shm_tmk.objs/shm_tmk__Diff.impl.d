@@ -1,0 +1,1 @@
+lib/tmk/diff.ml: Array Format List Shm_memsys

@@ -1,0 +1,1 @@
+lib/tmk/diff.mli: Format Shm_memsys

@@ -1,0 +1,1 @@
+lib/tmk/proto.ml: Diff List Record Shm_net Vc

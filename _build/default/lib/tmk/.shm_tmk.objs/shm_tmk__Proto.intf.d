@@ -1,0 +1,1 @@
+lib/tmk/proto.mli: Diff Record Shm_net Vc

@@ -1,0 +1,1 @@
+lib/tmk/record.ml: Array Hashtbl List Printf Vc

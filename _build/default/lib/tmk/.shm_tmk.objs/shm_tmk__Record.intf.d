@@ -1,0 +1,1 @@
+lib/tmk/record.mli: Vc

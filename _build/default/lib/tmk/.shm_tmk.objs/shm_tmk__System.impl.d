@@ -1,0 +1,1 @@
+lib/tmk/system.ml: Array Config Diff Format Hashtbl List Option Printf Proto Queue Record Shm_memsys Shm_net Shm_sim Shm_stats String Sys Vc

@@ -1,0 +1,1 @@
+lib/tmk/system.mli: Config Proto Shm_memsys Shm_net Shm_sim Shm_stats Vc

@@ -1,0 +1,1 @@
+lib/tmk/vc.ml: Array Format String

@@ -1,0 +1,36 @@
+(** TreadMarks instance configuration. *)
+
+(** When write notices travel.  [Lazy] is TreadMarks: notices move only
+    with lock grants and barrier departures.  [Eager_invalidate] is
+    conventional (Munin-style) eager release consistency: every release
+    broadcasts the closing interval's notices so all copies invalidate
+    immediately — correct for any program, at a per-release broadcast
+    cost (the message blow-up LRC was designed to eliminate). *)
+type notice_policy = Lazy | Eager_invalidate
+
+type t = {
+  n_nodes : int;
+  page_words : int;  (** 512 words = 4 KB Ultrix pages *)
+  shared_words : int;  (** size of the shared address space *)
+  n_locks : int;
+  n_barriers : int;
+  barrier_manager : int;  (** node hosting the barrier manager *)
+  twin_copy_per_word : int;  (** memcpy cost of twin creation *)
+  apply_per_word : int;  (** memcpy cost of applying a fetched diff *)
+  local_lock_cycles : int;  (** token already on-node: library-only cost *)
+  notice_policy : notice_policy;
+  eager_locks : int list;
+      (** locks using eager release: their releases push the closing
+          interval's diffs to every node (paper Section 2.4.3).  Only
+          sound for single-writer-at-a-time data, e.g. the TSP bound. *)
+}
+
+(** [default ~n_nodes ~shared_words] fills in paper-derived constants. *)
+val default : n_nodes:int -> shared_words:int -> t
+
+(** [manager_of t lock] is the lock's statically-assigned manager node. *)
+val manager_of : t -> int -> int
+
+val n_pages : t -> int
+
+val validate : t -> unit

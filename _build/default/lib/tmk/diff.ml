@@ -1,0 +1,46 @@
+module Memory = Shm_memsys.Memory
+
+type run = { offset : int; words : int64 array }
+
+type t = { page : int; runs : run list }
+
+let make ~page ~twin ~current ~base ~words =
+  let runs = ref [] in
+  let i = ref 0 in
+  while !i < words do
+    if Memory.get current (base + !i) <> twin.(!i) then begin
+      let start = !i in
+      while
+        !i < words && Memory.get current (base + !i) <> twin.(!i)
+      do
+        incr i
+      done;
+      let len = !i - start in
+      let data = Array.init len (fun k -> Memory.get current (base + start + k)) in
+      runs := { offset = start; words = data } :: !runs
+    end
+    else incr i
+  done;
+  { page; runs = List.rev !runs }
+
+let apply t mem ~base =
+  List.iter
+    (fun { offset; words } ->
+      Array.iteri (fun k v -> Memory.set mem (base + offset + k) v) words)
+    t.runs
+
+let apply_to_twin t twin =
+  List.iter
+    (fun { offset; words } ->
+      Array.iteri (fun k v -> twin.(offset + k) <- v) words)
+    t.runs
+
+let is_empty t = t.runs = []
+
+let words t = List.fold_left (fun acc r -> acc + Array.length r.words) 0 t.runs
+
+let bytes t = 16 + List.fold_left (fun acc r -> acc + 4 + (8 * Array.length r.words)) 0 t.runs
+
+let pp ppf t =
+  Format.fprintf ppf "diff(page=%d, runs=%d, words=%d)" t.page
+    (List.length t.runs) (words t)

@@ -1,0 +1,38 @@
+(** Diffs: run-length encodings of the words of a virtual page that a
+    writer changed, computed against the {e twin} copied at the first
+    write (paper Section 2.1).
+
+    Because a diff carries only the words whose values changed, an
+    application that overwrites data with identical values (SOR's interior
+    zeros) moves almost nothing — the effect behind Figure 3. *)
+
+type run = { offset : int; words : int64 array }
+
+type t = { page : int; runs : run list }
+
+(** [make ~page ~twin ~current ~base ~words] compares the twin (at index 0)
+    against page contents at [base] in [current], producing runs of
+    differing words. *)
+val make :
+  page:int ->
+  twin:int64 array ->
+  current:Shm_memsys.Memory.t ->
+  base:int ->
+  words:int ->
+  t
+
+(** [apply t mem ~base] writes the runs into page at [base]. *)
+val apply : t -> Shm_memsys.Memory.t -> base:int -> unit
+
+(** [apply_to_twin t twin] writes the runs into a raw twin array. *)
+val apply_to_twin : t -> int64 array -> unit
+
+val is_empty : t -> bool
+
+(** Number of words carried. *)
+val words : t -> int
+
+(** Wire size: 16-byte descriptor, 4 bytes per run header, 8 per word. *)
+val bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type t = {
+  creator : int;
+  seqno : int;
+  vc : Vc.t;
+  pages : int list;
+}
+
+(* Wire size.  Interval vector times are delta-encoded against the
+   enclosing message (an interval differs from the previously-described
+   one in one or two components), so a record costs a fixed 16-byte
+   descriptor plus 4 bytes per dirtied page. *)
+let bytes r = 16 + (4 * List.length r.pages)
+
+let happened_before a b = (not (Vc.equal a.vc b.vc)) && Vc.dominates b.vc a.vc
+
+let linear_key r = (Vc.sum r.vc, r.creator, r.seqno)
+
+module Store = struct
+  type record = t
+
+  type per_creator = {
+    by_seq : (int, record) Hashtbl.t;
+    mutable contig : int;
+  }
+
+  type t = per_creator array
+
+  let create ~nodes =
+    Array.init nodes (fun _ -> { by_seq = Hashtbl.create 32; contig = 0 })
+
+  let bump pc =
+    while Hashtbl.mem pc.by_seq (pc.contig + 1) do
+      pc.contig <- pc.contig + 1
+    done
+
+  let add t (r : record) =
+    let pc = t.(r.creator) in
+    if Hashtbl.mem pc.by_seq r.seqno then false
+    else begin
+      Hashtbl.add pc.by_seq r.seqno r;
+      bump pc;
+      true
+    end
+
+  let find t ~creator ~seqno = Hashtbl.find_opt t.(creator).by_seq seqno
+
+  let known t (r : record) = Hashtbl.mem t.(r.creator).by_seq r.seqno
+
+  let range t ~creator ~lo ~hi =
+    let pc = t.(creator) in
+    let rec loop seq acc =
+      if seq <= lo then acc
+      else
+        match Hashtbl.find_opt pc.by_seq seq with
+        | Some r -> loop (seq - 1) (r :: acc)
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Record.Store.range: creator %d missing seq %d"
+                 creator seq)
+    in
+    loop hi []
+
+  let contiguous t ~creator = t.(creator).contig
+end

@@ -1,0 +1,52 @@
+(** Interval records and per-node record stores.
+
+    An {e interval} is the span of a node's execution between consecutive
+    synchronization points that dirtied at least one page.  Its record —
+    the creator, the creator's interval index, the vector time at close,
+    and the dirtied pages — is what travels in write notices. *)
+
+type t = {
+  creator : int;
+  seqno : int;  (** creator's 1-based interval index *)
+  vc : Vc.t;  (** creator's vector time at interval close *)
+  pages : int list;  (** pages dirtied during the interval *)
+}
+
+(** Wire size of one record in a notice: 16-byte descriptor (including
+    the delta-encoded vector time), 4 bytes per page id. *)
+val bytes : t -> int
+
+(** [happened_before a b] in the happened-before-1 partial order. *)
+val happened_before : t -> t -> bool
+
+(** [linear_key r] sorts any set of records into a linear extension of
+    happened-before-1 ([Vc.sum] is strictly monotone along the order). *)
+val linear_key : t -> int * int * int
+
+module Store : sig
+  (** A node's collection of known interval records, indexed by creator.
+
+      Invariant: for every creator, known records form a prefix
+      [1..contiguous] plus possibly isolated records beyond it (delivered
+      by eager-release updates). *)
+
+  type record := t
+
+  type t
+
+  val create : nodes:int -> t
+
+  (** [add t r] registers [r]; returns [true] if it was new. *)
+  val add : t -> record -> bool
+
+  val find : t -> creator:int -> seqno:int -> record option
+
+  val known : t -> record -> bool
+
+  (** [range t ~creator ~lo ~hi] is the records with [lo < seqno <= hi],
+      oldest first.  @raise Invalid_argument on a gap. *)
+  val range : t -> creator:int -> lo:int -> hi:int -> record list
+
+  (** Highest contiguously-known interval index for [creator]. *)
+  val contiguous : t -> creator:int -> int
+end

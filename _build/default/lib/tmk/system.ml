@@ -1,0 +1,814 @@
+module Engine = Shm_sim.Engine
+module Mailbox = Shm_sim.Mailbox
+module Waitq = Shm_sim.Waitq
+module Fabric = Shm_net.Fabric
+module Msg = Shm_net.Msg
+module Overhead = Shm_net.Overhead
+module Memory = Shm_memsys.Memory
+module Counters = Shm_stats.Counters
+
+type page_state = {
+  mutable valid : bool;
+  mutable twin : int64 array option;  (** present iff writable *)
+  applied : Vc.t;  (** per-creator highest interval reflected in our copy *)
+  mutable pending : (int * int) list;  (** (creator, seqno) notices awaiting diffs *)
+}
+
+type lock_state = {
+  mutable has_token : bool;
+  mutable in_use : bool;
+  remote_waiters : (int * int * Vc.t) Queue.t;  (** (node, req, vc) *)
+  local_waiters : Waitq.t;
+  (* Manager-side distributed-queue tail; meaningful only at the lock's
+     manager node. *)
+  mutable tail : int;
+}
+
+type node = {
+  id : int;
+  mem : Memory.t;
+  vc : Vc.t;
+  mutable seq : int;  (** own interval counter, = vc.(id) *)
+  store : Record.Store.t;
+  pages : page_state array;
+  mutable dirty : int list;  (** pages dirtied in the open interval *)
+  own_diffs : (int * int, Diff.t) Hashtbl.t;  (** (page, seqno) -> diff *)
+  locks : lock_state array;
+  pending_reqs : (int, Proto.t Mailbox.t) Hashtbl.t;
+  mutable next_req : int;
+  mutable sent_to_manager : int;  (** own seq already pushed to barrier mgr *)
+  inflight : (int, Waitq.t) Hashtbl.t;  (** page -> fibers awaiting its fetch *)
+  steal : int ref;  (** handler CPU cycles to charge the application *)
+}
+
+type barrier_state = { mutable arrivals : (int * int * Vc.t) list }
+
+type t = {
+  eng : Engine.t;
+  counters : Counters.t;
+  fabric : Proto.t Fabric.t;
+  cfg : Config.t;
+  nodes : node array;
+  barriers : barrier_state array;
+  mutable page_hook : node:int -> page:int -> unit;
+}
+
+let config t = t.cfg
+
+let memory t ~node = t.nodes.(node).mem
+
+let set_page_hook t f = t.page_hook <- f
+
+let page_of t addr = addr / t.cfg.page_words
+
+let overhead t = (Fabric.config t.fabric).Fabric.overhead
+
+let create eng counters fabric cfg ~memories =
+  Config.validate cfg;
+  if Array.length memories <> cfg.n_nodes then
+    invalid_arg "Tmk.System.create: one memory per node required";
+  let n = cfg.n_nodes in
+  let mk_lock lock node_id =
+    let manager = Config.manager_of cfg lock in
+    {
+      has_token = node_id = manager;
+      in_use = false;
+      remote_waiters = Queue.create ();
+      local_waiters = Waitq.create eng;
+      tail = manager;
+    }
+  in
+  let mk_node id =
+    {
+      id;
+      mem = memories.(id);
+      vc = Vc.create ~nodes:n;
+      seq = 0;
+      store = Record.Store.create ~nodes:n;
+      pages =
+        Array.init (Config.n_pages cfg) (fun _ ->
+            { valid = true; twin = None; applied = Vc.create ~nodes:n;
+              pending = [] });
+      dirty = [];
+      own_diffs = Hashtbl.create 256;
+      locks = Array.init cfg.n_locks (fun l -> mk_lock l id);
+      pending_reqs = Hashtbl.create 16;
+      next_req = 0;
+      sent_to_manager = 0;
+      inflight = Hashtbl.create 8;
+      steal = ref 0;
+    }
+  in
+  {
+    eng;
+    counters;
+    fabric;
+    cfg;
+    nodes = Array.init n mk_node;
+    barriers = Array.init cfg.n_barriers (fun _ -> { arrivals = [] });
+    page_hook = (fun ~node:_ ~page:_ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let fresh_req nd =
+  let r = nd.next_req in
+  nd.next_req <- r + 1;
+  r
+
+let register_req t nd req =
+  let mb = Mailbox.create t.eng in
+  Hashtbl.replace nd.pending_reqs req mb;
+  mb
+
+let finish_req nd req = Hashtbl.remove nd.pending_reqs req
+
+let drain_steal fiber nd =
+  let s = !(nd.steal) in
+  if s > 0 then begin
+    nd.steal := 0;
+    Engine.advance fiber s
+  end
+
+(* Optional protocol tracing for debugging: set TMKDBG_PAGE / TMKDBG_LOCK
+   to a page or lock id to stream that object's protocol events to
+   stderr (twins, closes, notices, diff applications; requests, forwards,
+   grants, releases). *)
+let debug_page =
+  match Sys.getenv_opt "TMKDBG_PAGE" with
+  | Some v -> int_of_string v
+  | None -> -1
+
+let debug_lock =
+  match Sys.getenv_opt "TMKDBG_LOCK" with
+  | Some v -> int_of_string v
+  | None -> -1
+
+let send t fiber ~src ~dst body =
+  Fabric.send t.fabric fiber ~src ~dst ~class_:(Proto.class_ body)
+    ~size:(Proto.sizes body) body
+
+(* CPU cycles a node spends serving a request, charged to its application
+   fiber via [steal] (on a uniprocessor node the handler and the
+   application share the CPU). *)
+let serve_cost t ~in_size ~out_size ~replied =
+  let ov = overhead t in
+  let words (s : Msg.sizes) = (s.consistency_bytes + s.payload_bytes + 7) / 8 in
+  ov.fixed_recv + ov.handler + (ov.per_word * words in_size)
+  + if replied then ov.fixed_send + (ov.per_word * words out_size) else 0
+
+let zero_size = Msg.sizes ()
+
+(* ------------------------------------------------------------------ *)
+(* Write-notice registration and invalidation                          *)
+
+(* Register foreign interval records: remember them, queue per-page
+   notices, and invalidate affected valid pages. *)
+let register_records t nd records =
+  List.iter
+    (fun (r : Record.t) ->
+      ignore (Record.Store.add nd.store r);
+      if r.creator <> nd.id then
+        List.iter
+          (fun p ->
+            let st = nd.pages.(p) in
+            (* The record may already be in the store (the barrier manager
+               stashes arrival records before its own departure), so the
+               notice test must not depend on store freshness. *)
+            if
+              r.seqno > st.applied.(r.creator)
+              && not (List.mem (r.creator, r.seqno) st.pending)
+            then begin
+              st.pending <- (r.creator, r.seqno) :: st.pending;
+              if st.valid then begin
+                st.valid <- false;
+                Counters.incr t.counters "tmk.invalidations"
+              end
+            end)
+          r.pages)
+    records
+
+(* Records with [lo_vc.(c) < seqno <= hi_vc.(c)], oldest first.  The
+   caller's store must cover [hi_vc] (the contiguity invariant: a node's
+   vector time never advances past its contiguously-known records). *)
+let records_range nd ~lo_vc ~hi_vc =
+  let n = Vc.nodes lo_vc in
+  let acc = ref [] in
+  for c = 0 to n - 1 do
+    let lo = lo_vc.(c) and hi = hi_vc.(c) in
+    if hi > lo then
+      acc := Record.Store.range nd.store ~creator:c ~lo ~hi @ !acc
+  done;
+  List.sort
+    (fun a b -> compare (Record.linear_key a) (Record.linear_key b))
+    !acc
+
+(* Records the destination lacks, relative to our own vector time. *)
+let records_between nd ~vc_dst = records_range nd ~lo_vc:vc_dst ~hi_vc:nd.vc
+
+(* ------------------------------------------------------------------ *)
+(* Interval closing and diff creation                                  *)
+
+let close_interval t fiber nd =
+  match nd.dirty with
+  | [] -> None
+  | dirty ->
+      let ov = overhead t in
+      nd.seq <- nd.seq + 1;
+      nd.vc.(nd.id) <- nd.seq;
+      let pages = List.sort compare dirty in
+      if List.mem debug_page pages then
+        Printf.eprintf "node %d closes interval %d with page %d vc=%s\n" nd.id
+          nd.seq debug_page
+          (Format.asprintf "%a" Vc.pp nd.vc);
+      List.iter
+        (fun p ->
+          let st = nd.pages.(p) in
+          let twin =
+            match st.twin with
+            | Some tw -> tw
+            | None -> failwith "close_interval: dirty page without twin"
+          in
+          let diff =
+            Diff.make ~page:p ~twin ~current:nd.mem
+              ~base:(p * t.cfg.page_words) ~words:t.cfg.page_words
+          in
+          Engine.advance fiber (ov.diff_per_word * t.cfg.page_words);
+          Hashtbl.replace nd.own_diffs (p, nd.seq) diff;
+          Counters.incr t.counters "tmk.diffs_created";
+          st.twin <- None;
+          st.applied.(nd.id) <- nd.seq)
+        pages;
+      nd.dirty <- [];
+      let record =
+        { Record.creator = nd.id; seqno = nd.seq; vc = Vc.copy nd.vc; pages }
+      in
+      ignore (Record.Store.add nd.store record);
+      Counters.incr t.counters "tmk.intervals";
+      Some record
+
+(* ------------------------------------------------------------------ *)
+(* Eager release (paper Section 2.4.3)                                 *)
+
+let eager_broadcast t fiber nd (record : Record.t) =
+  let diffs =
+    List.map (fun p -> Hashtbl.find nd.own_diffs (p, record.seqno)) record.pages
+  in
+  let body = Proto.Eager_update { record; diffs } in
+  for dst = 0 to t.cfg.n_nodes - 1 do
+    if dst <> nd.id then send t fiber ~src:nd.id ~dst body
+  done;
+  Counters.incr t.counters "tmk.eager_broadcasts"
+
+let apply_eager_update t nd (record : Record.t) diffs =
+  if Record.Store.add nd.store record then begin
+    List.iter
+      (fun (d : Diff.t) ->
+        let p = d.page in
+        let st = nd.pages.(p) in
+        Diff.apply d nd.mem ~base:(p * t.cfg.page_words);
+        Option.iter (Diff.apply_to_twin d) st.twin;
+        if record.seqno > st.applied.(record.creator) then
+          st.applied.(record.creator) <- record.seqno;
+        st.pending <-
+          List.filter
+            (fun (c, s) -> not (c = record.creator && s = record.seqno))
+            st.pending;
+        t.page_hook ~node:nd.id ~page:p;
+        Counters.incr t.counters "tmk.eager_applies")
+      diffs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Page faults                                                         *)
+
+let apply_diffs t fiber nd ~page items =
+  (* [items]: (record, diff) pairs; apply in a linear extension of
+     happened-before-1. *)
+  let items =
+    List.sort
+      (fun ((a : Record.t), _) (b, _) ->
+        compare (Record.linear_key a) (Record.linear_key b))
+      items
+  in
+  let st = nd.pages.(page) in
+  let base = page * t.cfg.page_words in
+  List.iter
+    (fun ((r : Record.t), (d : Diff.t)) ->
+      if page = debug_page then begin
+        let words =
+          String.concat ","
+            (List.concat_map
+               (fun (run : Diff.run) ->
+                 List.init (Array.length run.words) (fun k ->
+                     Printf.sprintf "%d=%Ld" (run.offset + k) run.words.(k)))
+               d.runs)
+        in
+        Printf.eprintf "node %d applies (%d,%d) page %d: %s\n" nd.id r.creator
+          r.seqno page words
+      end;
+      Diff.apply d nd.mem ~base;
+      Option.iter (Diff.apply_to_twin d) st.twin;
+      Engine.advance fiber (t.cfg.apply_per_word * Diff.words d);
+      if r.seqno > st.applied.(r.creator) then
+        st.applied.(r.creator) <- r.seqno;
+      Counters.incr t.counters "tmk.diffs_applied")
+    items
+
+let fault t fiber nd page =
+  Engine.sync fiber;
+  drain_steal fiber nd;
+  let st = nd.pages.(page) in
+  let rec wait_if_inflight () =
+    match Hashtbl.find_opt nd.inflight page with
+    | Some wq when not st.valid ->
+        Waitq.wait fiber wq;
+        wait_if_inflight ()
+    | Some _ | None -> ()
+  in
+  wait_if_inflight ();
+  if not st.valid then begin
+    let wq = Waitq.create t.eng in
+    Hashtbl.replace nd.inflight page wq;
+    Counters.incr t.counters "tmk.faults";
+    Engine.advance fiber (overhead t).handler;
+    (* Needed notices, grouped by creator. *)
+    let needed =
+      List.filter (fun (c, s) -> s > st.applied.(c)) st.pending
+    in
+    let by_creator = Hashtbl.create 4 in
+    List.iter
+      (fun (c, s) ->
+        let hi = Option.value ~default:0 (Hashtbl.find_opt by_creator c) in
+        Hashtbl.replace by_creator c (max hi s))
+      needed;
+    let req = fresh_req nd in
+    let mb = register_req t nd req in
+    let expected = Hashtbl.length by_creator in
+    Hashtbl.iter
+      (fun creator hi ->
+        if page = debug_page then
+          Printf.eprintf "[%d] node %d fault page %d: req to %d (%d,%d]\n"
+            (Engine.clock fiber) nd.id page creator st.applied.(creator) hi;
+        send t fiber ~src:nd.id ~dst:creator
+          (Proto.Diff_req
+             { page; requester = nd.id; req; lo = st.applied.(creator); hi }))
+      by_creator;
+    let items = ref [] in
+    for _ = 1 to expected do
+      match Mailbox.recv fiber mb with
+      | Proto.Diff_resp { page = p; creator; diffs; _ } ->
+          assert (p = page);
+          List.iter
+            (fun (seqno, diff) ->
+              match Record.Store.find nd.store ~creator ~seqno with
+              | Some record -> items := (record, diff) :: !items
+              | None ->
+                  let pend =
+                    String.concat ";"
+                      (List.map
+                         (fun (c, s) -> Printf.sprintf "(%d,%d)" c s)
+                         st.pending)
+                  in
+                  let reqs =
+                    Hashtbl.fold
+                      (fun c hi acc ->
+                        Printf.sprintf "%d:(%d,%d] %s" c st.applied.(c) hi acc)
+                      by_creator ""
+                  in
+                  failwith
+                    (Printf.sprintf
+                       "fault: node %d page %d: diff (creator %d, seq %d) \
+                        unknown; vc=%s applied=%s contiguous=%d pending=%s \
+                        reqs=%s"
+                       nd.id page creator seqno
+                       (Format.asprintf "%a" Vc.pp nd.vc)
+                       (Format.asprintf "%a" Vc.pp st.applied)
+                       (Record.Store.contiguous nd.store ~creator)
+                       pend reqs))
+            diffs
+      | _ -> failwith "fault: unexpected response"
+    done;
+    apply_diffs t fiber nd ~page !items;
+    (* Notices may have arrived while we were fetching; if any remain
+       unapplied the page must stay invalid and fault again. *)
+    st.pending <- List.filter (fun (c, s) -> s > st.applied.(c)) st.pending;
+    if st.pending = [] then begin
+      st.valid <- true;
+      t.page_hook ~node:nd.id ~page
+    end;
+    Hashtbl.remove nd.inflight page;
+    finish_req nd req;
+    ignore (Waitq.wake_all wq ~at:(Engine.clock fiber))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Access guards                                                       *)
+
+let read_guard t fiber ~node addr =
+  let nd = t.nodes.(node) in
+  let page = page_of t addr in
+  let st = nd.pages.(page) in
+  while not st.valid do
+    fault t fiber nd page
+  done
+
+let write_guard t fiber ~node addr =
+  let nd = t.nodes.(node) in
+  let page = page_of t addr in
+  let st = nd.pages.(page) in
+  while not st.valid do
+    fault t fiber nd page
+  done;
+  match st.twin with
+  | Some _ -> ()
+  | None when t.cfg.n_nodes = 1 ->
+      (* A single process never write-protects pages: no twins, no diffs. *)
+      ()
+  | None ->
+      (* First write of the interval: make the twin (a page memcpy). *)
+      Engine.sync fiber;
+      (* Re-check after the yield: a co-located processor may have made
+         the twin (or even written through it) meanwhile. *)
+      if st.twin = None then begin
+        let base = page * t.cfg.page_words in
+        let twin =
+          Array.init t.cfg.page_words (fun k -> Memory.get nd.mem (base + k))
+        in
+        if page = debug_page then
+          Printf.eprintf "node %d twins page %d (c4=%d, seq=%d)\n" nd.id page
+            (Memory.get_int nd.mem (base + 4)) nd.seq;
+        Engine.advance fiber
+          ((overhead t).handler + (t.cfg.twin_copy_per_word * t.cfg.page_words));
+        st.twin <- Some twin;
+        nd.dirty <- page :: nd.dirty;
+        Counters.incr t.counters "tmk.twins"
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Locks                                                               *)
+
+(* Grant the token of lock [l] from node [nd] to [requester]; the grant
+   carries the interval records the requester lacks.  A requester on the
+   same node (a co-located processor that requested through the manager
+   before the token landed here) is served locally: the token stays and
+   no message or notice is needed. *)
+let send_grant t fiber nd ~lock ~requester ~req ~req_vc =
+  if lock = debug_lock then
+    Printf.eprintf "[%d] node %d GRANT lock %d to %d (req %d)\n"
+      (Engine.clock fiber) nd.id lock requester req;
+  if requester = nd.id then begin
+    (* Reserve the lock for the local requester now, so no other
+       co-located processor can slip in before it wakes. *)
+    nd.locks.(lock).in_use <- true;
+    let body = Proto.Lock_grant { lock; req; vc = Vc.copy nd.vc; records = [] } in
+    match Hashtbl.find_opt nd.pending_reqs req with
+    | Some mb -> Mailbox.post mb ~at:(Engine.clock fiber) body
+    | None -> failwith "send_grant: local requester vanished"
+  end
+  else begin
+    let records = records_between nd ~vc_dst:req_vc in
+    nd.locks.(lock).has_token <- false;
+    send t fiber ~src:nd.id ~dst:requester
+      (Proto.Lock_grant { lock; req; vc = Vc.copy nd.vc; records })
+  end
+
+(* A forwarded request reaches the node currently at the distributed
+   queue's tail: grant now if the token is here, idle, and no earlier
+   request is queued (forwards must be served FIFO, or an immediate grant
+   would carry the token away and orphan the queue), else queue. *)
+let deliver_forward t fiber nd ~lock ~requester ~req ~req_vc =
+  let ls = nd.locks.(lock) in
+  if lock = debug_lock then
+    Printf.eprintf
+      "[%d] node %d FORWARD lock %d for %d (req %d): token=%b in_use=%b q=%d\n"
+      (Engine.clock fiber) nd.id lock requester req ls.has_token ls.in_use
+      (Queue.length ls.remote_waiters);
+  if ls.has_token && (not ls.in_use) && Queue.is_empty ls.remote_waiters then
+    send_grant t fiber nd ~lock ~requester ~req ~req_vc
+  else Queue.push (requester, req, req_vc) ls.remote_waiters
+
+let handle_lock_req t fiber nd ~lock ~requester ~req ~req_vc =
+  let ls = nd.locks.(lock) in
+  let previous_tail = ls.tail in
+  if lock = debug_lock then
+    Printf.eprintf "[%d] node %d MGRREQ lock %d from %d (req %d) tail %d->%d\n"
+      (Engine.clock fiber) nd.id lock requester req previous_tail requester;
+  ls.tail <- requester;
+  if previous_tail = nd.id then
+    deliver_forward t fiber nd ~lock ~requester ~req ~req_vc
+  else
+    send t fiber ~src:nd.id ~dst:previous_tail
+      (Proto.Lock_forward { lock; requester; req; vc = req_vc })
+
+let acquire t fiber ~node ~lock =
+  let nd = t.nodes.(node) in
+  Engine.sync fiber;
+  drain_steal fiber nd;
+  let ls = nd.locks.(lock) in
+  while ls.in_use do
+    Waitq.wait fiber ls.local_waiters
+  done;
+  if ls.has_token then begin
+    (* Token already on-node: no messages (paper Section 3.1). *)
+    if lock = debug_lock then
+      Printf.eprintf "[%d] node %d LOCAL lock %d\n" (Engine.clock fiber)
+        nd.id lock;
+    ls.in_use <- true;
+    Engine.advance fiber t.cfg.local_lock_cycles;
+    Counters.incr t.counters "tmk.lock_local"
+  end
+  else begin
+    let req = fresh_req nd in
+    let mb = register_req t nd req in
+    let vc = Vc.copy nd.vc in
+    let manager = Config.manager_of t.cfg lock in
+    let body = Proto.Lock_req { lock; requester = nd.id; req; vc } in
+    if manager = nd.id then
+      (* Even a local request goes through the handler fiber: the manager's
+         tail pointer and the forwards it emits must mutate in one logical
+         order, and the handler (whose clock tracks its queue) is that
+         order.  A direct call here could run with a lagging application
+         clock and launch a forward that overtakes an earlier one on the
+         wire, breaking the token chain. *)
+      Fabric.loopback t.fabric fiber ~node:nd.id ~class_:(Proto.class_ body)
+        ~size:(Proto.sizes body) body
+    else send t fiber ~src:nd.id ~dst:manager body;
+    (match Mailbox.recv fiber mb with
+    | Proto.Lock_grant { vc = granter_vc; records; _ } ->
+        if lock = debug_lock then
+          Printf.eprintf "[%d] node %d GOT lock %d (req %d)\n"
+            (Engine.clock fiber) nd.id lock req;
+        register_records t nd records;
+        Vc.max_into ~into:nd.vc granter_vc;
+        ls.has_token <- true;
+        ls.in_use <- true
+    | _ -> failwith "acquire: unexpected response");
+    finish_req nd req;
+    Counters.incr t.counters "tmk.lock_remote"
+  end
+
+(* Eager-invalidate RC: broadcast the closing interval's write notice to
+   every node and block until all acknowledge.  The acknowledgement wait
+   is what keeps eagerly-delivered notices causally ordered (and is the
+   latency conventional RC pays at every release). *)
+let eager_notice_broadcast t fiber nd (record : Record.t) =
+  let req = fresh_req nd in
+  let mb = register_req t nd req in
+  for dst = 0 to t.cfg.n_nodes - 1 do
+    if dst <> nd.id then
+      send t fiber ~src:nd.id ~dst
+        (Proto.Eager_notice { record; requester = nd.id; req })
+  done;
+  for _ = 1 to t.cfg.n_nodes - 1 do
+    match Mailbox.recv fiber mb with
+    | Proto.Eager_ack _ -> ()
+    | _ -> failwith "eager release: unexpected response"
+  done;
+  finish_req nd req
+
+let after_close t fiber nd ~lock closed =
+  match closed with
+  | None -> ()
+  | Some record -> (
+      match t.cfg.notice_policy with
+      | Config.Eager_invalidate -> eager_notice_broadcast t fiber nd record
+      | Config.Lazy ->
+          if
+            match lock with
+            | Some l -> List.mem l t.cfg.eager_locks
+            | None -> false
+          then eager_broadcast t fiber nd record)
+
+let release t fiber ~node ~lock =
+  let nd = t.nodes.(node) in
+  Engine.sync fiber;
+  drain_steal fiber nd;
+  let closed = close_interval t fiber nd in
+  after_close t fiber nd ~lock:(Some lock) closed;
+  let ls = nd.locks.(lock) in
+  if not ls.in_use then invalid_arg "Tmk.release: lock not held";
+  if lock = debug_lock then
+    Printf.eprintf "[%d] node %d RELEASE lock %d: token=%b q=%d localq=%d\n"
+      (Engine.clock fiber) nd.id lock ls.has_token
+      (Queue.length ls.remote_waiters)
+      (Waitq.waiting ls.local_waiters);
+  ls.in_use <- false;
+  Engine.advance fiber t.cfg.local_lock_cycles;
+  if not (Waitq.wake_one ls.local_waiters ~at:(Engine.clock fiber)) then
+    if ls.has_token && not (Queue.is_empty ls.remote_waiters) then begin
+      let requester, req, req_vc = Queue.pop ls.remote_waiters in
+      send_grant t fiber nd ~lock ~requester ~req ~req_vc
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Barriers                                                            *)
+
+let send_departs t fiber mgr ~id =
+  let b = t.barriers.(id) in
+  (* Snapshot and clear before the first yield: a node that receives its
+     departure early can re-arrive for the next episode while we are still
+     sending the remaining departures. *)
+  let arrivals = b.arrivals in
+  b.arrivals <- [];
+  (* The episode's time is the join of the arrival snapshots.  The
+     manager's own vector time is NOT merged at arrival: an arriver's
+     clock can cover third-party intervals whose records only arrive with
+     their creator, and inflating the manager's clock early would break
+     the contiguity invariant for lock grants it makes meanwhile. *)
+  let merged = Vc.create ~nodes:t.cfg.n_nodes in
+  List.iter (fun (_, _, arr_vc) -> Vc.max_into ~into:merged arr_vc) arrivals;
+  List.iter
+    (fun (node, req, arr_vc) ->
+      let records = records_range mgr ~lo_vc:arr_vc ~hi_vc:merged in
+      let body = Proto.Barrier_depart { barrier = id; req; vc = merged; records } in
+      if node = mgr.id then
+        (* Local departure: no message. *)
+        match Hashtbl.find_opt mgr.pending_reqs req with
+        | Some mb -> Mailbox.post mb ~at:(Engine.clock fiber) body
+        | None -> failwith "barrier: missing local arrival mailbox"
+      else send t fiber ~src:mgr.id ~dst:node body)
+    arrivals;
+  Counters.incr t.counters "tmk.barriers"
+
+let note_arrival t fiber mgr ~id ~node ~req ~arr_vc ~records =
+  let b = t.barriers.(id) in
+  (* Stash arrival records in the store (the departure ranges need them)
+     but do NOT invalidate yet: arrivals trickle in causally incomplete,
+     and a premature notice would let the manager's still-running
+     application fault and apply diffs out of happened-before order.  The
+     manager's own departure re-delivers the complete merged set and the
+     invalidations happen there. *)
+  List.iter (fun r -> ignore (Record.Store.add mgr.store r)) records;
+  b.arrivals <- (node, req, arr_vc) :: b.arrivals;
+  if List.length b.arrivals = t.cfg.n_nodes then send_departs t fiber mgr ~id
+
+let barrier_arrive t fiber ~node ~id =
+  let nd = t.nodes.(node) in
+  Engine.sync fiber;
+  drain_steal fiber nd;
+  let closed = close_interval t fiber nd in
+  after_close t fiber nd ~lock:None closed;
+  let own_records =
+    Record.Store.range nd.store ~creator:nd.id ~lo:nd.sent_to_manager ~hi:nd.seq
+  in
+  nd.sent_to_manager <- nd.seq;
+  let req = fresh_req nd in
+  let mb = register_req t nd req in
+  let mgr_id = t.cfg.barrier_manager in
+  let arr_vc = Vc.copy nd.vc in
+  if mgr_id = nd.id then
+    note_arrival t fiber t.nodes.(mgr_id) ~id ~node:nd.id ~req ~arr_vc
+      ~records:own_records
+  else
+    send t fiber ~src:nd.id ~dst:mgr_id
+      (Proto.Barrier_arrive
+         { barrier = id; node = nd.id; req; vc = arr_vc; records = own_records });
+  (match Mailbox.recv fiber mb with
+  | Proto.Barrier_depart { vc; records; _ } ->
+      register_records t nd records;
+      Vc.max_into ~into:nd.vc vc
+  | _ -> failwith "barrier: unexpected response");
+  finish_req nd req
+
+(* ------------------------------------------------------------------ *)
+(* Message handler daemon                                              *)
+
+let serve_diff_req t fiber nd ~page ~requester ~req ~lo ~hi ~in_size =
+  let diffs = ref [] in
+  for seqno = hi downto lo + 1 do
+    match Hashtbl.find_opt nd.own_diffs (page, seqno) with
+    | Some d -> diffs := (seqno, d) :: !diffs
+    | None -> ()
+  done;
+  let body =
+    Proto.Diff_resp { page; req; creator = nd.id; diffs = !diffs }
+  in
+  send t fiber ~src:nd.id ~dst:requester body;
+  nd.steal :=
+    !(nd.steal)
+    + serve_cost t ~in_size ~out_size:(Proto.sizes body) ~replied:true
+
+let route_response t nd ~req body ~at =
+  ignore t;
+  match Hashtbl.find_opt nd.pending_reqs req with
+  | Some mb -> Mailbox.post mb ~at body
+  | None -> failwith "route_response: no pending request"
+
+let handle t fiber nd (env : Proto.t Msg.envelope) =
+  let in_size = env.size in
+  let steal_simple () =
+    nd.steal := !(nd.steal) + serve_cost t ~in_size ~out_size:zero_size ~replied:false
+  in
+  match env.body with
+  | Proto.Lock_req { lock; requester; req; vc } ->
+      Engine.advance fiber (overhead t).handler;
+      handle_lock_req t fiber nd ~lock ~requester ~req ~req_vc:vc;
+      steal_simple ()
+  | Proto.Lock_forward { lock; requester; req; vc } ->
+      Engine.advance fiber (overhead t).handler;
+      deliver_forward t fiber nd ~lock ~requester ~req ~req_vc:vc;
+      steal_simple ()
+  | Proto.Diff_req { page; requester; req; lo; hi } ->
+      Engine.advance fiber (overhead t).handler;
+      serve_diff_req t fiber nd ~page ~requester ~req ~lo ~hi ~in_size
+  | Proto.Barrier_arrive { barrier; node; req; vc; records } ->
+      Engine.advance fiber (overhead t).handler;
+      note_arrival t fiber nd ~id:barrier ~node ~req ~arr_vc:vc ~records;
+      steal_simple ()
+  | Proto.Eager_update { record; diffs } ->
+      Engine.advance fiber (overhead t).handler;
+      apply_eager_update t nd record diffs;
+      steal_simple ()
+  | Proto.Eager_notice { record; requester; req } ->
+      Engine.advance fiber (overhead t).handler;
+      register_records t nd [ record ];
+      send t fiber ~src:nd.id ~dst:requester (Proto.Eager_ack { req });
+      steal_simple ()
+  | Proto.Lock_grant { req; _ } | Proto.Diff_resp { req; _ }
+  | Proto.Barrier_depart { req; _ } | Proto.Eager_ack { req } ->
+      (* Response for a blocked application fiber: route, no steal (the
+         application is idle waiting for it anyway). *)
+      route_response t nd ~req env.body ~at:(Engine.clock fiber)
+
+let handler_loop t nd fiber =
+  let rec loop () =
+    let env = Fabric.recv t.fabric fiber ~node:nd.id in
+    handle t fiber nd env;
+    loop ()
+  in
+  loop ()
+
+let start t =
+  Array.iter
+    (fun nd ->
+      ignore
+        (Engine.spawn t.eng ~daemon:true
+           ~name:(Printf.sprintf "tmk-handler-%d" nd.id)
+           ~at:0
+           (fun fiber -> handler_loop t nd fiber)))
+    t.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let page_valid t ~node ~page = t.nodes.(node).pages.(page).valid
+
+let dump_lock t ~lock =
+  String.concat "; "
+    (Array.to_list
+       (Array.map
+          (fun nd ->
+            let ls = nd.locks.(lock) in
+            Printf.sprintf
+              "node %d: token=%b in_use=%b remoteq=%d localq=%d tail=%d"
+              nd.id ls.has_token ls.in_use
+              (Queue.length ls.remote_waiters)
+              (Waitq.waiting ls.local_waiters)
+              ls.tail)
+          t.nodes))
+
+let vc t ~node = Vc.copy t.nodes.(node).vc
+
+let check_invariants t =
+  Array.iter
+    (fun nd ->
+      (* Own component equals own interval count. *)
+      if nd.vc.(nd.id) <> nd.seq then
+        failwith
+          (Printf.sprintf "node %d: vc self %d <> seq %d" nd.id nd.vc.(nd.id)
+             nd.seq);
+      (* Vector components never exceed the creator's interval count. *)
+      Array.iteri
+        (fun c v ->
+          if v > t.nodes.(c).seq then
+            failwith
+              (Printf.sprintf "node %d: vc.(%d)=%d beyond creator seq %d"
+                 nd.id c v t.nodes.(c).seq))
+        nd.vc;
+      Array.iteri
+        (fun p st ->
+          (* A valid page has no applicable pending notices. *)
+          if st.valid then
+            List.iter
+              (fun (c, s) ->
+                if s > st.applied.(c) then
+                  failwith
+                    (Printf.sprintf
+                       "node %d: page %d valid with pending (%d,%d)" nd.id p c
+                       s))
+              st.pending;
+          (* Twins exist exactly for pages dirty in the open interval. *)
+          let dirty = List.mem p nd.dirty in
+          match st.twin with
+          | Some _ when not dirty ->
+              failwith
+                (Printf.sprintf "node %d: page %d has twin but not dirty"
+                   nd.id p)
+          | None when dirty ->
+              failwith
+                (Printf.sprintf "node %d: page %d dirty without twin" nd.id p)
+          | Some _ | None -> ())
+        nd.pages)
+    t.nodes

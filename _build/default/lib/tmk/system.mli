@@ -1,0 +1,75 @@
+(** The TreadMarks lazy-release-consistency protocol engine.
+
+    One [t] drives a whole cluster: per-node page tables, twins, interval
+    logs, diff stores, the distributed lock queues, and the centralized
+    barrier manager, exchanging {!Proto} messages over a {!Shm_net.Fabric}.
+
+    {b Node vs processor.}  The protocol works on {e nodes}.  On AS and the
+    DEC cluster a node has one processor; on HS a node is a bus-based
+    multiprocessor whose processors all call into the same node state
+    ("all of the processors within a node are treated as one by the DSM
+    system"): page faults for the same page merge, diffs from co-located
+    processors coalesce into a single per-node diff, and a lock whose token
+    is on-node is acquired without messages.
+
+    {b Usage discipline.}  A processor fiber calls [read_guard] (resp.
+    [write_guard]) immediately before reading (writing) a shared word, and
+    performs the actual {!Shm_memsys.Memory} access before its next yield
+    point, so guard and access are atomic.  Pages start valid and identical
+    on every node (initial distribution is excluded, as in the paper). *)
+
+type t
+
+val create :
+  Shm_sim.Engine.t ->
+  Shm_stats.Counters.t ->
+  Proto.t Shm_net.Fabric.t ->
+  Config.t ->
+  memories:Shm_memsys.Memory.t array ->
+  t
+
+val config : t -> Config.t
+
+(** [memory t ~node] is the node's private copy of the shared space. *)
+val memory : t -> node:int -> Shm_memsys.Memory.t
+
+(** [set_page_hook t f] registers [f ~node ~page], called whenever a page's
+    contents are replaced under the application's feet (diffs applied), so
+    the platform can invalidate stale cache lines. *)
+val set_page_hook : t -> (node:int -> page:int -> unit) -> unit
+
+(** [start t] spawns one message-handler daemon fiber per node. *)
+val start : t -> unit
+
+val page_of : t -> int -> int
+
+(** {2 Called from processor fibers} *)
+
+val read_guard : t -> Shm_sim.Engine.fiber -> node:int -> int -> unit
+
+val write_guard : t -> Shm_sim.Engine.fiber -> node:int -> int -> unit
+
+val acquire : t -> Shm_sim.Engine.fiber -> node:int -> lock:int -> unit
+
+val release : t -> Shm_sim.Engine.fiber -> node:int -> lock:int -> unit
+
+(** [barrier_arrive t fiber ~node ~id] announces the whole node's arrival;
+    on a multiprocessor node only the last processor to arrive calls it. *)
+val barrier_arrive : t -> Shm_sim.Engine.fiber -> node:int -> id:int -> unit
+
+(** {2 Introspection (tests, reports)} *)
+
+(** [page_valid t ~node ~page]. *)
+val page_valid : t -> node:int -> page:int -> bool
+
+(** [dump_lock t ~lock] renders every node's state for one lock (token
+    location, holders, queue lengths) — debugging aid. *)
+val dump_lock : t -> lock:int -> string
+
+(** [vc t ~node] is a copy of the node's vector time. *)
+val vc : t -> node:int -> Vc.t
+
+(** [check_invariants t] asserts protocol sanity: vector clocks never
+    exceed creators' interval counts, valid pages have no applicable
+    pending notices, twins exist exactly for writable pages. *)
+val check_invariants : t -> unit

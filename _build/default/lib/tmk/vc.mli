@@ -1,0 +1,32 @@
+(** Vector timestamps over the happened-before-1 partial order
+    (Keleher et al., "Lazy Release Consistency").
+
+    [vc.(i)] is the index of the most recent interval of node [i] whose
+    write notices the holder has seen. *)
+
+type t = int array
+
+val create : nodes:int -> t
+
+val copy : t -> t
+
+val nodes : t -> int
+
+(** [dominates a b] is true iff [a.(i) >= b.(i)] for all [i]. *)
+val dominates : t -> t -> bool
+
+(** [max_into ~into b] sets [into] to the componentwise maximum. *)
+val max_into : into:t -> t -> unit
+
+val join : t -> t -> t
+
+(** [sum t] is the total interval count; a strictly monotone function of
+    the partial order, used to linearize diff application. *)
+val sum : t -> int
+
+val equal : t -> t -> bool
+
+(** Wire size in bytes (4 bytes per component, as in 1994). *)
+val bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

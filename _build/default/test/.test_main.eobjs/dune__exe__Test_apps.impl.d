@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Float List Printf Shm_apps Shm_memsys Shm_parmacs

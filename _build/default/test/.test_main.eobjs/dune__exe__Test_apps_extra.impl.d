@@ -1,0 +1,1 @@
+test/test_apps_extra.ml: Alcotest Array List Printf QCheck QCheck_alcotest Shm_apps Shm_parmacs Shm_platform

@@ -1,0 +1,1 @@
+test/test_erc.ml: Alcotest Array List Printf Shm_apps Shm_memsys Shm_net Shm_parmacs Shm_platform Shm_sim Shm_stats Shm_tmk

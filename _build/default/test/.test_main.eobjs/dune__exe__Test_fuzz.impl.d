@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array List Printf QCheck QCheck_alcotest Shm_apps Shm_memsys Shm_parmacs Shm_platform Shm_sim Shm_tmk

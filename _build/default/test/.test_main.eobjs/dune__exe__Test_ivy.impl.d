@@ -1,0 +1,1 @@
+test/test_ivy.ml: Alcotest Array Hashtbl Printf QCheck QCheck_alcotest Shm_ivy Shm_memsys Shm_net Shm_sim Shm_stats

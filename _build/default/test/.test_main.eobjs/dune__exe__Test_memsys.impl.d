@@ -1,0 +1,1 @@
+test/test_memsys.ml: Alcotest Array Int64 Printf QCheck QCheck_alcotest Shm_memsys Shm_sim Shm_stats

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Printf Shm_net Shm_sim Shm_stats String

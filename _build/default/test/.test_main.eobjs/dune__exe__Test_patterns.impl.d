@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest List Printf Shm_apps Shm_parmacs Shm_platform

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array Fun List Printexc Printf Shm_apps Shm_memsys Shm_parmacs Shm_platform Shm_sim Shm_stats

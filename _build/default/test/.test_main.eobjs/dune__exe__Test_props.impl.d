@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Shm_apps Shm_memsys Shm_net Shm_parmacs Shm_sim Shm_tmk

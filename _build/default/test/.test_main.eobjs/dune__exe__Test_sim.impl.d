@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Hashtbl List Printf Shm_sim String

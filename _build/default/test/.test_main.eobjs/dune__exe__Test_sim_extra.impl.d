@@ -1,0 +1,1 @@
+test/test_sim_extra.ml: Alcotest Array List Printf QCheck QCheck_alcotest Shm_sim

@@ -1,0 +1,1 @@
+test/test_tmk.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Shm_memsys Shm_net Shm_sim Shm_stats Shm_tmk

@@ -1,0 +1,1 @@
+test/test_tmk_edge.ml: Alcotest Array Printf QCheck QCheck_alcotest Shm_memsys Shm_net Shm_sim Shm_stats Shm_tmk

@@ -1,0 +1,155 @@
+(* Tests for the IVY-style sequentially-consistent page DSM baseline. *)
+
+module Engine = Shm_sim.Engine
+module Prng = Shm_sim.Prng
+module Counters = Shm_stats.Counters
+module Fabric = Shm_net.Fabric
+module Overhead = Shm_net.Overhead
+module Memory = Shm_memsys.Memory
+module Ivy = Shm_ivy.System
+
+type cluster = { eng : Engine.t; sys : Ivy.t; counters : Counters.t }
+
+let make_cluster ~nodes ~shared_words () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let fabric =
+    Fabric.create eng counters
+      (Fabric.atm_dec ~overhead:Overhead.treadmarks_user)
+      ~nodes
+  in
+  let memories = Array.init nodes (fun _ -> Memory.create ~words:shared_words) in
+  let sys =
+    Ivy.create eng counters fabric ~page_words:512 ~shared_words ~memories
+  in
+  Ivy.start sys;
+  { eng; sys; counters }
+
+let spawn c ~node body =
+  ignore (Engine.spawn c.eng ~name:(Printf.sprintf "node%d" node) ~at:0 body)
+
+let read c f ~node addr =
+  Ivy.read_guard c.sys f ~node addr;
+  Memory.get_int (Ivy.memory c.sys ~node) addr
+
+let write c f ~node addr v =
+  Ivy.write_guard c.sys f ~node addr;
+  Memory.set_int (Ivy.memory c.sys ~node) addr v
+
+let test_lock_counter () =
+  let nodes = 4 in
+  let c = make_cluster ~nodes ~shared_words:1024 () in
+  let final = ref (-1) in
+  for node = 0 to nodes - 1 do
+    spawn c ~node (fun f ->
+        for _ = 1 to 10 do
+          Ivy.acquire c.sys f ~node ~lock:3;
+          let v = read c f ~node 0 in
+          write c f ~node 0 (v + 1);
+          Ivy.release c.sys f ~node ~lock:3
+        done;
+        Ivy.barrier_arrive c.sys f ~node ~id:0;
+        if node = 0 then final := read c f ~node 0)
+  done;
+  Engine.run c.eng;
+  Alcotest.(check int) "all increments" 40 !final;
+  Ivy.check_invariants c.sys
+
+(* Sequential consistency: a reader polling an unsynchronized flag DOES
+   see the writer's update (contrast with the LRC staleness test). *)
+let test_sc_propagates_without_sync () =
+  let c = make_cluster ~nodes:2 ~shared_words:1024 () in
+  let observed = ref (-1) in
+  spawn c ~node:0 (fun f -> write c f ~node:0 0 7);
+  spawn c ~node:1 (fun f ->
+      (* Poll until the value arrives; SC guarantees it eventually does
+         because the write invalidates our copy. *)
+      let rec poll tries =
+        if tries = 0 then ()
+        else
+          let v = read c f ~node:1 0 in
+          if v = 7 then observed := v
+          else begin
+            Engine.wait_until f (Engine.clock f + 100_000);
+            poll (tries - 1)
+          end
+      in
+      poll 100);
+  Engine.run c.eng;
+  Alcotest.(check int) "update visible without synchronization" 7 !observed
+
+let test_write_ping_pong_counts () =
+  (* Two nodes alternately writing the same page transfer the whole page
+     each time: the false-sharing failure mode. *)
+  let c = make_cluster ~nodes:2 ~shared_words:1024 () in
+  let rounds = 5 in
+  for node = 0 to 1 do
+    spawn c ~node (fun f ->
+        for r = 1 to rounds do
+          (* Barriers force strict alternation. *)
+          if r mod 2 = node then write c f ~node node (r * 10) else ();
+          Ivy.barrier_arrive c.sys f ~node ~id:0
+        done)
+  done;
+  Engine.run c.eng;
+  Ivy.check_invariants c.sys;
+  Alcotest.(check bool) "page transfers happened" true
+    (Counters.get c.counters "ivy.page_transfers" >= rounds - 1)
+
+let prop_random_writes_converge =
+  QCheck.Test.make ~count:15 ~name:"ivy: disjoint writes all visible"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let nodes = 3 in
+      let c = make_cluster ~nodes ~shared_words:2048 () in
+      let rng = Prng.create ~seed in
+      let plans =
+        Array.init nodes (fun node ->
+            Array.init 25 (fun _ ->
+                ((node * 680) + Prng.int rng 680, Prng.int rng 100_000)))
+      in
+      for node = 0 to nodes - 1 do
+        spawn c ~node (fun f ->
+            Array.iter (fun (a, v) -> write c f ~node a v) plans.(node);
+            Ivy.barrier_arrive c.sys f ~node ~id:0)
+      done;
+      Engine.run c.eng;
+      Ivy.check_invariants c.sys;
+      (* Node 0 reads everything through the protocol. *)
+      let eng2 = c.eng in
+      ignore eng2;
+      let c2 = c in
+      let ok = ref true in
+      ignore
+        (Engine.spawn c.eng ~name:"checker" ~at:0 (fun f ->
+             Array.iter
+               (fun plan ->
+                 (* The last write to each address must be visible. *)
+                 let final = Hashtbl.create 16 in
+                 Array.iter (fun (a, v) -> Hashtbl.replace final a v) plan;
+                 Hashtbl.iter
+                   (fun a v -> if read c2 f ~node:0 a <> v then ok := false)
+                   final)
+               plans));
+      Engine.run c.eng;
+      !ok)
+
+let test_single_node_is_free () =
+  let c = make_cluster ~nodes:1 ~shared_words:1024 () in
+  spawn c ~node:0 (fun f ->
+      write c f ~node:0 0 5;
+      ignore (read c f ~node:0 0);
+      Alcotest.(check int) "no protocol cost" 0 (Engine.clock f));
+  Engine.run c.eng
+
+let suite =
+  [
+    Alcotest.test_case "lock-protected counter" `Quick test_lock_counter;
+    Alcotest.test_case "SC propagates without sync" `Quick
+      test_sc_propagates_without_sync;
+    Alcotest.test_case "write ping-pong transfers pages" `Quick
+      test_write_ping_pong_counts;
+    QCheck_alcotest.to_alcotest prop_random_writes_converge;
+    Alcotest.test_case "single node costs nothing" `Quick
+      test_single_node_is_free;
+  ]

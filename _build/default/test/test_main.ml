@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "shmcs"
+    [
+      ("sim", Test_sim.suite);
+      ("sim-extra", Test_sim_extra.suite);
+      ("stats", Test_stats.suite);
+      ("props", Test_props.suite);
+      ("net", Test_net.suite);
+      ("memsys", Test_memsys.suite);
+      ("tmk", Test_tmk.suite);
+      ("tmk-edge", Test_tmk_edge.suite);
+      ("ivy", Test_ivy.suite);
+      ("erc", Test_erc.suite);
+      ("apps", Test_apps.suite);
+      ("apps-extra", Test_apps_extra.suite);
+      ("patterns", Test_patterns.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("platform", Test_platform.suite);
+    ]

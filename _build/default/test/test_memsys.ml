@@ -1,0 +1,289 @@
+(* Tests for the memory-system substrate: backing store, cache directory,
+   private cache timing, snooping MESI machine, directory machine. *)
+
+module Engine = Shm_sim.Engine
+module Prng = Shm_sim.Prng
+module Counters = Shm_stats.Counters
+module Memory = Shm_memsys.Memory
+module Cache = Shm_memsys.Cache
+module Private_cache = Shm_memsys.Private_cache
+module Snoop = Shm_memsys.Snoop
+module Directory = Shm_memsys.Directory
+
+let test_memory_roundtrip () =
+  let m = Memory.create ~words:64 in
+  Memory.set_float m 0 3.14159;
+  Memory.set_int m 1 (-42);
+  Memory.set_int m 2 max_int;
+  Alcotest.(check (float 0.0)) "float" 3.14159 (Memory.get_float m 0);
+  Alcotest.(check int) "negative int" (-42) (Memory.get_int m 1);
+  Alcotest.(check int) "max int" max_int (Memory.get_int m 2)
+
+let prop_memory_float_bits =
+  QCheck.Test.make ~count:200 ~name:"memory preserves float bit patterns"
+    QCheck.float (fun v ->
+      let m = Memory.create ~words:1 in
+      Memory.set_float m 0 v;
+      Int64.bits_of_float (Memory.get_float m 0) = Int64.bits_of_float v)
+
+let test_memory_blit () =
+  let a = Memory.create ~words:32 and b = Memory.create ~words:32 in
+  for i = 0 to 31 do
+    Memory.set_int a i (i * i)
+  done;
+  Memory.blit ~src:a ~src_pos:8 ~dst:b ~dst_pos:16 ~len:8;
+  Alcotest.(check int) "copied" (10 * 10) (Memory.get_int b 18);
+  Alcotest.(check bool) "range equal" true
+    (let ok = ref true in
+     for i = 0 to 7 do
+       if Memory.get_int b (16 + i) <> (8 + i) * (8 + i) then ok := false
+     done;
+     !ok)
+
+let test_cache_mapping () =
+  let c = Cache.create ~size_words:64 ~block_words:4 in
+  Alcotest.(check int) "lines" 16 (Cache.lines c);
+  Alcotest.(check int) "block alignment" 8 (Cache.block_of c 11);
+  ignore (Cache.insert c 8 Cache.Shared);
+  Alcotest.(check bool) "probe within block" true
+    (Cache.probe c 10 = Cache.Shared);
+  (* Word 8 + 64 maps to the same line: conflict eviction. *)
+  let victim = Cache.insert c (8 + 64) Cache.Modified in
+  Alcotest.(check bool) "evicted the old block" true
+    (victim = Some (8, Cache.Shared));
+  Alcotest.(check bool) "old block gone" true (Cache.probe c 8 = Cache.Invalid)
+
+let test_cache_peek_victim () =
+  let c = Cache.create ~size_words:64 ~block_words:4 in
+  ignore (Cache.insert c 0 Cache.Modified);
+  Alcotest.(check bool) "peek sees conflicting block" true
+    (Cache.peek_victim c 64 = Some (0, Cache.Modified));
+  Alcotest.(check bool) "peek same block is none" true
+    (Cache.peek_victim c 0 = None);
+  (* Peek must not modify anything. *)
+  Alcotest.(check bool) "still resident" true (Cache.probe c 0 = Cache.Modified)
+
+let test_private_cache_write_through () =
+  let eng = Engine.create () in
+  let pc = Private_cache.create Private_cache.dec_config in
+  ignore
+    (Engine.spawn eng ~name:"cpu" ~at:0 (fun f ->
+         (* Write-through buffered: writes always cost one cycle. *)
+         Private_cache.write pc f 100;
+         Alcotest.(check int) "write is 1 cycle" 1 (Engine.clock f);
+         (* Cold read misses. *)
+         Private_cache.read pc f 100;
+         Alcotest.(check int) "read miss" 19 (Engine.clock f);
+         (* Same block now hits. *)
+         Private_cache.read pc f 101;
+         Alcotest.(check int) "read hit" 20 (Engine.clock f)));
+  Engine.run eng;
+  Alcotest.(check int) "one miss" 1 (Private_cache.misses pc);
+  Alcotest.(check int) "one hit" 1 (Private_cache.hits pc)
+
+let test_private_cache_invalidate_range () =
+  let eng = Engine.create () in
+  let pc = Private_cache.create Private_cache.sim_node_config in
+  ignore
+    (Engine.spawn eng ~name:"cpu" ~at:0 (fun f ->
+         Private_cache.read pc f 0;
+         Private_cache.invalidate_range pc ~addr:0 ~words:512;
+         let before = Engine.clock f in
+         Private_cache.read pc f 0;
+         Alcotest.(check int) "re-miss after invalidation" 20
+           (Engine.clock f - before)));
+  Engine.run eng
+
+(* MESI state walk on the snooping bus: E on sole read, S on shared read,
+   M on write, cache-to-cache supply, invalidation on write. *)
+let test_snoop_mesi_walk () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let mem = Memory.create ~words:1024 in
+  Memory.set_int mem 0 7;
+  let m = Snoop.create eng counters mem (Snoop.hs_node_config ~n_cpus:3) in
+  ignore
+    (Engine.spawn eng ~name:"script" ~at:0 (fun f ->
+         (* CPU 0 reads alone: Exclusive. *)
+         Alcotest.(check int) "value" 7
+           (Int64.to_int (Snoop.read m f ~cpu:0 0));
+         (* CPU 1 reads: both Shared, cache supplies. *)
+         ignore (Snoop.read m f ~cpu:1 0);
+         Snoop.check_coherence m;
+         (* CPU 2 writes: others invalidated. *)
+         Snoop.write m f ~cpu:2 0 99L;
+         Snoop.check_coherence m;
+         Alcotest.(check int) "write visible" 99
+           (Int64.to_int (Snoop.read m f ~cpu:0 0));
+         Snoop.check_coherence m))
+  |> ignore;
+  Engine.run eng;
+  Alcotest.(check bool) "invalidations happened" true
+    (Counters.get counters "bus.inval" > 0)
+
+(* Concurrent rmw increments through the snooping machine never lose
+   updates, under random interleavings. *)
+let prop_snoop_rmw_atomic =
+  QCheck.Test.make ~count:25 ~name:"snoop rmw increments are atomic"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let eng = Engine.create () in
+      let counters = Counters.create () in
+      let mem = Memory.create ~words:64 in
+      let m = Snoop.create eng counters mem (Snoop.sgi_config ~n_cpus:4) in
+      let rng = Prng.create ~seed in
+      let per_cpu = 50 in
+      for cpu = 0 to 3 do
+        let delay = Prng.int rng 100 in
+        ignore
+          (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:delay
+             (fun f ->
+               for _ = 1 to per_cpu do
+                 ignore (Snoop.rmw m f ~cpu 0 Int64.succ);
+                 Engine.advance f (Prng.int rng 50)
+               done))
+      done;
+      Engine.run eng;
+      Snoop.check_coherence m;
+      Memory.get_int mem 0 = 4 * per_cpu)
+
+let prop_directory_rmw_atomic =
+  QCheck.Test.make ~count:25 ~name:"directory rmw increments are atomic"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let eng = Engine.create () in
+      let counters = Counters.create () in
+      let mem = Memory.create ~words:256 in
+      let m =
+        Directory.create eng counters mem (Directory.sim_config ~n_nodes:8)
+      in
+      let rng = Prng.create ~seed in
+      let per_cpu = 40 in
+      for node = 0 to 7 do
+        let delay = Prng.int rng 100 in
+        ignore
+          (Engine.spawn eng ~name:(Printf.sprintf "n%d" node) ~at:delay
+             (fun f ->
+               for _ = 1 to per_cpu do
+                 ignore (Directory.rmw m f ~node 0 Int64.succ);
+                 Engine.advance f (Prng.int rng 200)
+               done))
+      done;
+      Engine.run eng;
+      Directory.check_invariants m;
+      Memory.get_int mem 0 = 8 * per_cpu)
+
+(* Random mixed reads/writes to random addresses keep the directory and
+   the caches mutually consistent. *)
+let prop_directory_random_traffic =
+  QCheck.Test.make ~count:20 ~name:"directory invariants under random traffic"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let eng = Engine.create () in
+      let counters = Counters.create () in
+      let words = 4096 in
+      let mem = Memory.create ~words in
+      let m =
+        Directory.create eng counters mem (Directory.sim_config ~n_nodes:6)
+      in
+      let rng = Prng.create ~seed in
+      for node = 0 to 5 do
+        let plan =
+          Array.init 200 (fun _ ->
+              (Prng.int rng words, Prng.int rng 2 = 0, Prng.int rng 30))
+        in
+        ignore
+          (Engine.spawn eng ~name:(Printf.sprintf "n%d" node) ~at:0 (fun f ->
+               Array.iter
+                 (fun (addr, is_read, think) ->
+                   if is_read then ignore (Directory.read m f ~node addr)
+                   else Directory.write m f ~node addr (Int64.of_int addr);
+                   Engine.advance f think)
+                 plan))
+      done;
+      Engine.run eng;
+      Directory.check_invariants m;
+      true)
+
+(* Remote misses cost more than local ones on the directory machine. *)
+let test_directory_latencies () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let mem = Memory.create ~words:1024 in
+  let m = Directory.create eng counters mem (Directory.sim_config ~n_nodes:4) in
+  (* Block 0 is homed at node 0 (block-interleaved). *)
+  let local = ref 0 and remote = ref 0 in
+  ignore
+    (Engine.spawn eng ~name:"script" ~at:0 (fun f ->
+         let t0 = Engine.clock f in
+         ignore (Directory.read m f ~node:0 0);
+         local := Engine.clock f - t0;
+         let t1 = Engine.clock f in
+         (* Word 16 is block index 4, homed at node 0: remote for node 1. *)
+         ignore (Directory.read m f ~node:1 16);
+         remote := Engine.clock f - t1));
+  Engine.run eng;
+  Alcotest.(check bool)
+    (Printf.sprintf "remote (%d) > local (%d)" !remote !local)
+    true
+    (!remote > !local)
+
+(* The SOR effect: a working set larger than the SGI secondary thrashes. *)
+let test_snoop_capacity_miss () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let words = 300_000 in
+  (* > 1 MB secondary *)
+  let mem = Memory.create ~words in
+  let m = Snoop.create eng counters mem (Snoop.sgi_config ~n_cpus:1) in
+  let small_time = ref 0 and large_time = ref 0 in
+  ignore
+    (Engine.spawn eng ~name:"cpu" ~at:0 (fun f ->
+         (* Two passes over a small buffer: second pass all hits. *)
+         for i = 0 to 8191 do
+           ignore (Snoop.read m f ~cpu:0 i)
+         done;
+         let t = Engine.clock f in
+         for i = 0 to 8191 do
+           ignore (Snoop.read m f ~cpu:0 i)
+         done;
+         small_time := Engine.clock f - t;
+         (* Two passes over > cache: second pass misses again. *)
+         for i = 0 to words - 1 do
+           ignore (Snoop.read m f ~cpu:0 i)
+         done;
+         let t = Engine.clock f in
+         for i = 0 to words - 1 do
+           ignore (Snoop.read m f ~cpu:0 i)
+         done;
+         large_time := Engine.clock f - t));
+  Engine.run eng;
+  let small_per_word = float_of_int !small_time /. 8192. in
+  let large_per_word = float_of_int !large_time /. float_of_int words in
+  Alcotest.(check bool)
+    (Printf.sprintf "thrash %.2f cy/word > resident %.2f cy/word"
+       large_per_word small_per_word)
+    true
+    (large_per_word > 2. *. small_per_word)
+
+let suite =
+  [
+    Alcotest.test_case "memory int/float roundtrip" `Quick test_memory_roundtrip;
+    QCheck_alcotest.to_alcotest prop_memory_float_bits;
+    Alcotest.test_case "memory blit" `Quick test_memory_blit;
+    Alcotest.test_case "cache direct mapping and eviction" `Quick
+      test_cache_mapping;
+    Alcotest.test_case "cache peek_victim" `Quick test_cache_peek_victim;
+    Alcotest.test_case "private cache write-through timing" `Quick
+      test_private_cache_write_through;
+    Alcotest.test_case "private cache range invalidation" `Quick
+      test_private_cache_invalidate_range;
+    Alcotest.test_case "snoop MESI state walk" `Quick test_snoop_mesi_walk;
+    QCheck_alcotest.to_alcotest prop_snoop_rmw_atomic;
+    QCheck_alcotest.to_alcotest prop_directory_rmw_atomic;
+    QCheck_alcotest.to_alcotest prop_directory_random_traffic;
+    Alcotest.test_case "directory remote > local latency" `Quick
+      test_directory_latencies;
+    Alcotest.test_case "secondary-cache capacity misses" `Quick
+      test_snoop_capacity_miss;
+  ]

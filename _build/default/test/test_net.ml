@@ -1,0 +1,176 @@
+(* Tests for the network substrate: message sizing, software-overhead
+   charging, wire latency/bandwidth, per-link contention. *)
+
+module Engine = Shm_sim.Engine
+module Counters = Shm_stats.Counters
+module Msg = Shm_net.Msg
+module Overhead = Shm_net.Overhead
+module Fabric = Shm_net.Fabric
+
+let test_msg_sizes () =
+  let s = Msg.sizes ~consistency:100 ~payload:400 () in
+  Alcotest.(check int) "total" (Msg.default_header_bytes + 500)
+    (Msg.total_bytes s);
+  Alcotest.(check string) "class names" "miss,sync"
+    (String.concat "," [ Msg.class_name Msg.Miss; Msg.class_name Msg.Sync ])
+
+let test_overhead_presets () =
+  let u = Overhead.treadmarks_user and k = Overhead.treadmarks_kernel in
+  Alcotest.(check bool) "kernel cheaper" true (k.fixed_send < u.fixed_send);
+  Alcotest.(check bool) "kernel handler cheaper" true (k.handler < u.handler);
+  let s = Overhead.sweep ~fixed:100 ~per_word:1 in
+  Alcotest.(check int) "sweep fixed" 100 s.fixed_send;
+  Alcotest.(check int) "sweep per-word" 1 s.per_word;
+  Alcotest.(check int) "hardware free" 0 Overhead.hardware.fixed_send
+
+let zero_overhead_fabric eng counters ~nodes =
+  Fabric.create eng counters
+    { Fabric.name = "test"; latency_cycles = 100; bytes_per_cycle = 1.0;
+      overhead = Overhead.hardware }
+    ~nodes
+
+let test_wire_time () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let fab = zero_overhead_fabric eng counters ~nodes:2 in
+  let arrival = ref 0 in
+  ignore
+    (Engine.spawn eng ~name:"rx" ~at:0 (fun f ->
+         let env = Fabric.recv fab f ~node:1 in
+         arrival := Engine.clock f;
+         Alcotest.(check int) "src" 0 env.Msg.src));
+  ignore
+    (Engine.spawn eng ~name:"tx" ~at:0 (fun f ->
+         (* 32-byte header at 1 byte/cycle + 100 latency, on both links. *)
+         Fabric.send fab f ~src:0 ~dst:1 ~class_:Msg.Sync ~size:(Msg.sizes ())
+           ()));
+  Engine.run eng;
+  (* tx occupies 32, +100 latency, rx link occupies another 32. *)
+  Alcotest.(check int) "delivery time" (32 + 100 + 32) !arrival
+
+let test_sender_released_early () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let fab = zero_overhead_fabric eng counters ~nodes:2 in
+  ignore
+    (Engine.spawn eng ~daemon:true ~name:"rx" ~at:0 (fun f ->
+         ignore (Fabric.recv fab f ~node:1)));
+  ignore
+    (Engine.spawn eng ~name:"tx" ~at:0 (fun f ->
+         Fabric.send fab f ~src:0 ~dst:1 ~class_:Msg.Sync ~size:(Msg.sizes ())
+           ();
+         (* Sender resumes once the message leaves its link, not at
+            delivery. *)
+         Alcotest.(check int) "tx released at link drain" 32 (Engine.clock f)));
+  Engine.run eng
+
+let test_overhead_charging () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let overhead =
+    { Overhead.fixed_send = 1000; fixed_recv = 2000; per_word = 10;
+      handler = 0; diff_per_word = 0 }
+  in
+  let fab =
+    Fabric.create eng counters
+      { Fabric.name = "test"; latency_cycles = 0; bytes_per_cycle = 1e9;
+        overhead }
+      ~nodes:2
+  in
+  let payload = 80 (* = 10 words *) in
+  ignore
+    (Engine.spawn eng ~name:"rx" ~at:0 (fun f ->
+         let t0 = Engine.clock f in
+         ignore (Fabric.recv fab f ~node:1);
+         ignore t0;
+         (* Receive charge: fixed_recv + 10 words * 10 cycles. *)
+         let charged = 2000 + 100 in
+         Alcotest.(check bool) "receive charged" true
+           (Engine.clock f >= charged)));
+  ignore
+    (Engine.spawn eng ~name:"tx" ~at:0 (fun f ->
+         Fabric.send fab f ~src:0 ~dst:1 ~class_:Msg.Sync
+           ~size:(Msg.sizes ~payload ())
+           ();
+         (* Send charge: fixed_send + 10 words * 10 cycles (+ ~0 wire). *)
+         Alcotest.(check bool) "send charged" true (Engine.clock f >= 1100)));
+  Engine.run eng
+
+let test_link_contention () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let fab = zero_overhead_fabric eng counters ~nodes:3 in
+  (* Two senders to the same destination: the rx link serializes them.
+     Disjoint pairs would not contend (ATM switch). *)
+  let deliveries = ref [] in
+  ignore
+    (Engine.spawn eng ~name:"rx" ~at:0 (fun f ->
+         for _ = 1 to 2 do
+           ignore (Fabric.recv fab f ~node:2);
+           deliveries := Engine.clock f :: !deliveries
+         done));
+  for src = 0 to 1 do
+    ignore
+      (Engine.spawn eng ~name:(Printf.sprintf "tx%d" src) ~at:0 (fun f ->
+           Fabric.send fab f ~src ~dst:2 ~class_:Msg.Sync ~size:(Msg.sizes ())
+             ()))
+  done;
+  Engine.run eng;
+  match List.sort compare !deliveries with
+  | [ d1; d2 ] ->
+      Alcotest.(check int) "first" 164 d1;
+      (* Second message waits for the rx link: 32 cycles later. *)
+      Alcotest.(check int) "second serialized" (164 + 32) d2
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_counters () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let fab = zero_overhead_fabric eng counters ~nodes:2 in
+  ignore
+    (Engine.spawn eng ~daemon:true ~name:"rx" ~at:0 (fun f ->
+         ignore (Fabric.recv fab f ~node:1);
+         ignore (Fabric.recv fab f ~node:1)));
+  ignore
+    (Engine.spawn eng ~name:"tx" ~at:0 (fun f ->
+         Fabric.send fab f ~src:0 ~dst:1 ~class_:Msg.Miss
+           ~size:(Msg.sizes ~payload:256 ())
+           ();
+         Fabric.send fab f ~src:0 ~dst:1 ~class_:Msg.Sync
+           ~size:(Msg.sizes ~consistency:64 ())
+           ()));
+  Engine.run eng;
+  Alcotest.(check int) "miss msgs" 1 (Counters.get counters "net.msgs.miss");
+  Alcotest.(check int) "sync msgs" 1 (Counters.get counters "net.msgs.sync");
+  Alcotest.(check int) "payload bytes" 256
+    (Counters.get counters "net.bytes.payload");
+  Alcotest.(check int) "consistency bytes" 64
+    (Counters.get counters "net.bytes.consistency");
+  Alcotest.(check int) "header bytes" 64
+    (Counters.get counters "net.bytes.header")
+
+let test_self_send_rejected () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let fab = zero_overhead_fabric eng counters ~nodes:2 in
+  ignore
+    (Engine.spawn eng ~name:"tx" ~at:0 (fun f ->
+         Alcotest.check_raises "src = dst"
+           (Invalid_argument "Fabric.send: src = dst") (fun () ->
+             Fabric.send fab f ~src:0 ~dst:0 ~class_:Msg.Sync
+               ~size:(Msg.sizes ()) ())));
+  Engine.run eng
+
+let suite =
+  [
+    Alcotest.test_case "message sizes" `Quick test_msg_sizes;
+    Alcotest.test_case "overhead presets" `Quick test_overhead_presets;
+    Alcotest.test_case "wire latency and bandwidth" `Quick test_wire_time;
+    Alcotest.test_case "sender releases at link drain" `Quick
+      test_sender_released_early;
+    Alcotest.test_case "software overheads charged" `Quick
+      test_overhead_charging;
+    Alcotest.test_case "receive-link contention" `Quick test_link_contention;
+    Alcotest.test_case "message/byte counters" `Quick test_counters;
+    Alcotest.test_case "self-send rejected" `Quick test_self_send_rejected;
+  ]

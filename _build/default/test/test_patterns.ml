@@ -1,0 +1,84 @@
+(* Tests for the sharing-pattern microbenchmarks: determinism across
+   platforms and the protocol relationships each pattern exists to show. *)
+
+module Parmacs = Shm_parmacs.Parmacs
+module Patterns = Shm_apps.Patterns
+module Machines = Shm_platform.Machines
+module Platform = Shm_platform.Platform
+module Report = Shm_platform.Report
+
+let small kind =
+  { (Patterns.default_params kind) with Patterns.rounds = 6; compute = 10_000 }
+
+let run platform_name kind ~n =
+  let app = Patterns.make (small kind) in
+  let p = Machines.get platform_name in
+  p.Platform.run app ~nprocs:n
+
+let test_checksums_agree_everywhere () =
+  List.iter
+    (fun kind ->
+      let app = Patterns.make (small kind) in
+      let reference = Parmacs.checksum_of (Parmacs.run_sequential app) app in
+      ignore reference;
+      let results =
+        List.map
+          (fun pname -> (pname, (run pname kind ~n:4).Report.checksum))
+          [ "treadmarks"; "ivy"; "sgi"; "ah" ]
+      in
+      match results with
+      | (_, first) :: rest ->
+          List.iter
+            (fun (pname, cs) ->
+              Alcotest.(check (float 0.0))
+                (Printf.sprintf "%s on %s" (Patterns.kind_name kind) pname)
+                first cs)
+            rest
+      | [] -> ())
+    Patterns.all_kinds
+
+let test_false_sharing_tmk_beats_ivy () =
+  let bytes pname = Report.get (run pname Patterns.False_sharing ~n:8) "net.bytes.total" in
+  let tmk = bytes "treadmarks" and ivy = bytes "ivy" in
+  Alcotest.(check bool)
+    (Printf.sprintf "LRC %d bytes << IVY %d bytes" tmk ivy)
+    true
+    (3 * tmk < ivy)
+
+let test_read_mostly_is_cheap () =
+  (* After the initial distribution, read-mostly moves almost nothing
+     under LRC: only the producer's first-round diffs. *)
+  let r = run "treadmarks" Patterns.Read_mostly ~n:8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "only %d faults" (Report.get r "tmk.faults"))
+    true
+    (Report.get r "tmk.faults" <= 16)
+
+let test_migratory_diff_traffic_bounded () =
+  (* Each migration carries at most one page's worth of diff. *)
+  let p = small Patterns.Migratory in
+  let r = run "treadmarks" Patterns.Migratory ~n:4 in
+  let payload = Report.get r "net.bytes.payload" in
+  let upper = (p.Patterns.rounds + 4) * (8 * (p.Patterns.words + 1) + 512) in
+  Alcotest.(check bool)
+    (Printf.sprintf "payload %d <= %d" payload upper)
+    true (payload <= upper)
+
+let test_producer_consumer_scales_reads () =
+  (* Every consumer faults the buffer each round: miss messages grow with
+     the consumer count. *)
+  let msgs n = Report.get (run "treadmarks" Patterns.Producer_consumer ~n) "net.msgs.miss" in
+  Alcotest.(check bool) "more consumers, more fetches" true (msgs 8 > msgs 2)
+
+let suite =
+  [
+    Alcotest.test_case "patterns agree across platforms" `Slow
+      test_checksums_agree_everywhere;
+    Alcotest.test_case "false sharing: LRC moves far less" `Quick
+      test_false_sharing_tmk_beats_ivy;
+    Alcotest.test_case "read-mostly faults once" `Quick test_read_mostly_is_cheap;
+    Alcotest.test_case "migratory diff traffic bounded" `Quick
+      test_migratory_diff_traffic_bounded;
+    Alcotest.test_case "producer-consumer fetch scaling" `Quick
+      test_producer_consumer_scales_reads;
+  ]

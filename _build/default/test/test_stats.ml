@@ -1,0 +1,66 @@
+(* Tests for counters and table rendering. *)
+
+module Counters = Shm_stats.Counters
+module Table = Shm_stats.Table
+
+let test_counters_basic () =
+  let c = Counters.create () in
+  Counters.incr c "a";
+  Counters.add c "a" 4;
+  Counters.add c "b" 10;
+  Alcotest.(check int) "a" 5 (Counters.get c "a");
+  Alcotest.(check int) "b" 10 (Counters.get c "b");
+  Alcotest.(check int) "missing is zero" 0 (Counters.get c "zzz")
+
+let test_counters_merge_reset () =
+  let a = Counters.create () and b = Counters.create () in
+  Counters.add a "x" 1;
+  Counters.add b "x" 2;
+  Counters.add b "y" 3;
+  Counters.merge ~into:a b;
+  Alcotest.(check (list (pair string int)))
+    "merged sorted"
+    [ ("x", 3); ("y", 3) ]
+    (Counters.to_list a);
+  Counters.reset a;
+  Alcotest.(check int) "reset" 0 (Counters.get a "x")
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0 && String.sub s 0 1 = "T");
+  let index_of needle =
+    let n = String.length needle and len = String.length s in
+    let rec go i =
+      if i + n > len then -1
+      else if String.sub s i n = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "row order preserved" true
+    (let a = index_of "alpha" and b = index_of "22" in
+     a >= 0 && b >= 0 && a < b)
+
+let test_table_arity () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong arity")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_f 3.14159);
+  Alcotest.(check string) "digits" "3.1416" (Table.cell_f ~digits:4 3.14159);
+  Alcotest.(check string) "int" "42" (Table.cell_i 42);
+  Alcotest.(check string) "speedup" "7.40" (Table.cell_speedup 7.4)
+
+let suite =
+  [
+    Alcotest.test_case "counters add/get" `Quick test_counters_basic;
+    Alcotest.test_case "counters merge/reset" `Quick test_counters_merge_reset;
+    Alcotest.test_case "table renders rows in order" `Quick test_table_render;
+    Alcotest.test_case "table rejects wrong arity" `Quick test_table_arity;
+    Alcotest.test_case "cell formatting" `Quick test_cells;
+  ]

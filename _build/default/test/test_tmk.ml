@@ -1,0 +1,325 @@
+(* Protocol-level tests of the TreadMarks lazy-release-consistency engine:
+   propagation through locks and barriers, multiple-writer merging, lazy
+   staleness, eager release, fault merging, and protocol invariants. *)
+
+module Engine = Shm_sim.Engine
+module Prng = Shm_sim.Prng
+module Counters = Shm_stats.Counters
+module Fabric = Shm_net.Fabric
+module Overhead = Shm_net.Overhead
+module Memory = Shm_memsys.Memory
+module Vc = Shm_tmk.Vc
+module Diff = Shm_tmk.Diff
+module Record = Shm_tmk.Record
+module Config = Shm_tmk.Config
+module System = Shm_tmk.System
+
+type cluster = {
+  eng : Engine.t;
+  sys : System.t;
+  counters : Counters.t;
+}
+
+let make_cluster ?(eager_locks = []) ~nodes ~shared_words () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let fabric =
+    Fabric.create eng counters
+      (Fabric.atm_dec ~overhead:Overhead.treadmarks_user)
+      ~nodes
+  in
+  let memories = Array.init nodes (fun _ -> Memory.create ~words:shared_words) in
+  let cfg = { (Config.default ~n_nodes:nodes ~shared_words) with eager_locks } in
+  let sys = System.create eng counters fabric cfg ~memories in
+  System.start sys;
+  { eng; sys; counters }
+
+let spawn_node c ~node body =
+  ignore
+    (Engine.spawn c.eng ~name:(Printf.sprintf "node%d" node) ~at:0 (fun f ->
+         body f))
+
+let read c f ~node addr =
+  System.read_guard c.sys f ~node addr;
+  Memory.get_int (System.memory c.sys ~node) addr
+
+let write c f ~node addr v =
+  System.write_guard c.sys f ~node addr;
+  Memory.set_int (System.memory c.sys ~node) addr v
+
+let test_lock_counter () =
+  let nodes = 4 in
+  let c = make_cluster ~nodes ~shared_words:1024 () in
+  let final = ref (-1) in
+  for node = 0 to nodes - 1 do
+    spawn_node c ~node (fun f ->
+        for _ = 1 to 10 do
+          System.acquire c.sys f ~node ~lock:3;
+          let v = read c f ~node 0 in
+          write c f ~node 0 (v + 1);
+          System.release c.sys f ~node ~lock:3
+        done;
+        System.barrier_arrive c.sys f ~node ~id:0;
+        if node = 0 then final := read c f ~node 0)
+  done;
+  Engine.run c.eng;
+  Alcotest.(check int) "all increments visible" 40 !final;
+  System.check_invariants c.sys
+
+let test_barrier_propagation () =
+  let nodes = 3 in
+  let c = make_cluster ~nodes ~shared_words:4096 () in
+  let sums = Array.make nodes 0 in
+  for node = 0 to nodes - 1 do
+    spawn_node c ~node (fun f ->
+        if node = 0 then
+          for i = 0 to 99 do
+            write c f ~node i (i * i)
+          done;
+        System.barrier_arrive c.sys f ~node ~id:0;
+        let s = ref 0 in
+        for i = 0 to 99 do
+          s := !s + read c f ~node i
+        done;
+        sums.(node) <- !s)
+  done;
+  Engine.run c.eng;
+  let expected = ref 0 in
+  for i = 0 to 99 do
+    expected := !expected + (i * i)
+  done;
+  Array.iteri
+    (fun n s -> Alcotest.(check int) (Printf.sprintf "node %d sum" n) !expected s)
+    sums;
+  System.check_invariants c.sys
+
+(* Two nodes write disjoint halves of the same page between barriers: the
+   multiple-writer protocol must merge both sets of writes everywhere. *)
+let test_multiple_writer_merge () =
+  let nodes = 2 in
+  let c = make_cluster ~nodes ~shared_words:1024 () in
+  let ok = Array.make nodes false in
+  for node = 0 to nodes - 1 do
+    spawn_node c ~node (fun f ->
+        let base = if node = 0 then 0 else 256 in
+        for i = 0 to 255 do
+          write c f ~node (base + i) ((node * 1000) + i)
+        done;
+        System.barrier_arrive c.sys f ~node ~id:0;
+        let good = ref true in
+        for i = 0 to 255 do
+          if read c f ~node i <> i then good := false;
+          if read c f ~node (256 + i) <> 1000 + i then good := false
+        done;
+        ok.(node) <- !good)
+  done;
+  Engine.run c.eng;
+  Array.iteri
+    (fun n g -> Alcotest.(check bool) (Printf.sprintf "node %d merged" n) true g)
+    ok;
+  System.check_invariants c.sys
+
+(* LRC is lazy: without an acquire, a node keeps reading its stale copy. *)
+let test_lazy_staleness () =
+  let c = make_cluster ~nodes:2 ~shared_words:1024 () in
+  let observed = ref (-1) in
+  spawn_node c ~node:0 (fun f ->
+      System.acquire c.sys f ~node:0 ~lock:0;
+      write c f ~node:0 0 7;
+      System.release c.sys f ~node:0 ~lock:0;
+      System.barrier_arrive c.sys f ~node:0 ~id:0);
+  spawn_node c ~node:1 (fun f ->
+      (* Wait long enough that node 0's release has surely happened. *)
+      Engine.wait_until f 100_000_000;
+      observed := read c f ~node:1 0;
+      System.barrier_arrive c.sys f ~node:1 ~id:0);
+  Engine.run c.eng;
+  Alcotest.(check int) "unsynchronized read stays stale" 0 !observed
+
+(* With an eager lock the release pushes the new value everywhere. *)
+let test_eager_release_propagates () =
+  let c = make_cluster ~eager_locks:[ 0 ] ~nodes:2 ~shared_words:1024 () in
+  let observed = ref (-1) in
+  spawn_node c ~node:0 (fun f ->
+      System.acquire c.sys f ~node:0 ~lock:0;
+      write c f ~node:0 0 7;
+      System.release c.sys f ~node:0 ~lock:0;
+      System.barrier_arrive c.sys f ~node:0 ~id:0);
+  spawn_node c ~node:1 (fun f ->
+      Engine.wait_until f 100_000_000;
+      observed := read c f ~node:1 0;
+      System.barrier_arrive c.sys f ~node:1 ~id:0);
+  Engine.run c.eng;
+  Alcotest.(check int) "eager release pushed the update" 7 !observed
+
+(* A lock whose token is already on-node costs no messages. *)
+let test_token_locality () =
+  let c = make_cluster ~nodes:2 ~shared_words:1024 () in
+  spawn_node c ~node:0 (fun f ->
+      (* Lock 0's manager is node 0, so every acquire is local. *)
+      for _ = 1 to 5 do
+        System.acquire c.sys f ~node:0 ~lock:0;
+        System.release c.sys f ~node:0 ~lock:0
+      done;
+      System.barrier_arrive c.sys f ~node:0 ~id:0);
+  spawn_node c ~node:1 (fun f -> System.barrier_arrive c.sys f ~node:1 ~id:0);
+  Engine.run c.eng;
+  Alcotest.(check int) "local acquires" 5 (Counters.get c.counters "tmk.lock_local");
+  Alcotest.(check int) "no remote acquires" 0
+    (Counters.get c.counters "tmk.lock_remote")
+
+(* Two processors of the same (HS-style) node faulting on one page merge
+   into a single fetch. *)
+let test_fault_merging () =
+  let c = make_cluster ~nodes:2 ~shared_words:1024 () in
+  let vals = ref [] in
+  spawn_node c ~node:0 (fun f ->
+      write c f ~node:0 0 41;
+      System.barrier_arrive c.sys f ~node:0 ~id:0);
+  (* Node 1 has two processor fibers; only one calls the barrier (as the
+     platform would do for an SMP node). *)
+  let arrived = ref false in
+  for cpu = 0 to 1 do
+    ignore
+      (Engine.spawn c.eng ~name:(Printf.sprintf "n1cpu%d" cpu) ~at:0 (fun f ->
+           if not !arrived then begin
+             arrived := true;
+             System.barrier_arrive c.sys f ~node:1 ~id:0
+           end
+           else Engine.wait_until f 200_000_000;
+           vals := read c f ~node:1 0 :: !vals))
+  done;
+  Engine.run c.eng;
+  Alcotest.(check (list int)) "both read the value" [ 41; 41 ] !vals;
+  Alcotest.(check int) "one page fault" 1 (Counters.get c.counters "tmk.faults")
+
+(* Runs with identical inputs produce identical timing and counters. *)
+let test_protocol_determinism () =
+  let run () =
+    let c = make_cluster ~nodes:4 ~shared_words:8192 () in
+    let rng = Prng.create ~seed:11 in
+    let plan =
+      Array.init 4 (fun _ ->
+          Array.init 20 (fun _ -> (Prng.int rng 1000, Prng.int rng 4)))
+    in
+    for node = 0 to 3 do
+      spawn_node c ~node (fun f ->
+          Array.iter
+            (fun (addr, lck) ->
+              System.acquire c.sys f ~node ~lock:lck;
+              let v = read c f ~node addr in
+              write c f ~node addr (v + 1);
+              System.release c.sys f ~node ~lock:lck)
+            plan.(node);
+          System.barrier_arrive c.sys f ~node ~id:0)
+    done;
+    Engine.run c.eng;
+    (Engine.now c.eng, Counters.to_list c.counters)
+  in
+  let t1, c1 = run () and t2, c2 = run () in
+  Alcotest.(check int) "same final time" t1 t2;
+  Alcotest.(check (list (pair string int))) "same counters" c1 c2
+
+(* After a barrier every node's copy of the whole shared space is
+   word-for-word identical (qcheck over random write patterns). *)
+let prop_barrier_converges =
+  QCheck.Test.make ~count:30 ~name:"barrier converges all copies"
+    QCheck.(pair small_int (small_list (pair small_nat small_nat)))
+    (fun (seed, _) ->
+      let nodes = 3 in
+      let shared_words = 2048 in
+      let c = make_cluster ~nodes ~shared_words () in
+      let rng = Prng.create ~seed in
+      let plans =
+        Array.init nodes (fun node ->
+            Array.init 30 (fun _ ->
+                (* Disjoint word ranges per node to stay data-race-free. *)
+                let addr = Prng.int rng 600 in
+                ((node * 640) + addr, Prng.int rng 1_000_000)))
+      in
+      for node = 0 to nodes - 1 do
+        spawn_node c ~node (fun f ->
+            Array.iter (fun (addr, v) -> write c f ~node addr v) plans.(node);
+            System.barrier_arrive c.sys f ~node ~id:0;
+            (* Touch every page to revalidate before comparing. *)
+            for p = 0 to (shared_words / 512) - 1 do
+              ignore (read c f ~node (p * 512))
+            done;
+            System.barrier_arrive c.sys f ~node ~id:1)
+      done;
+      Engine.run c.eng;
+      let m0 = System.memory c.sys ~node:0 in
+      let ok = ref true in
+      for n = 1 to nodes - 1 do
+        let mn = System.memory c.sys ~node:n in
+        if not (Memory.equal_range m0 mn ~pos:0 ~len:shared_words) then
+          ok := false
+      done;
+      System.check_invariants c.sys;
+      !ok)
+
+(* Reading after revalidation applies exactly the written values. *)
+let prop_diff_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"diff make/apply roundtrip"
+    QCheck.(small_list (pair small_nat (int_bound 1000)))
+    (fun writes ->
+      let words = 128 in
+      let twin = Array.init words (fun i -> Int64.of_int i) in
+      let mem = Memory.create ~words in
+      Array.iteri (fun i v -> Memory.set mem i v) twin;
+      List.iter
+        (fun (off, v) -> Memory.set_int mem (off mod words) (v + 2000))
+        writes;
+      let diff = Diff.make ~page:0 ~twin ~current:mem ~base:0 ~words in
+      (* Apply onto a fresh copy of the twin. *)
+      let mem2 = Memory.create ~words in
+      Array.iteri (fun i v -> Memory.set mem2 i v) twin;
+      Diff.apply diff mem2 ~base:0;
+      Memory.equal_range mem mem2 ~pos:0 ~len:words)
+
+let prop_vc_join_lub =
+  QCheck.Test.make ~count:200 ~name:"vc join is the least upper bound"
+    QCheck.(pair (array_of_size (QCheck.Gen.return 5) small_nat)
+              (array_of_size (QCheck.Gen.return 5) small_nat))
+    (fun (a, b) ->
+      let j = Vc.join a b in
+      Vc.dominates j a && Vc.dominates j b
+      && Array.for_all2 (fun x y -> x = max y (j.(0) * 0) || true) j a
+      && Vc.sum j <= Vc.sum a + Vc.sum b)
+
+let test_record_store () =
+  let s = Record.Store.create ~nodes:2 in
+  let mk seqno = { Record.creator = 1; seqno; vc = [| 0; seqno |]; pages = [ 0 ] } in
+  Alcotest.(check bool) "add new" true (Record.Store.add s (mk 1));
+  Alcotest.(check bool) "add dup" false (Record.Store.add s (mk 1));
+  ignore (Record.Store.add s (mk 2));
+  ignore (Record.Store.add s (mk 4));
+  Alcotest.(check int) "contiguous stops at gap" 2
+    (Record.Store.contiguous s ~creator:1);
+  let r = Record.Store.range s ~creator:1 ~lo:0 ~hi:2 in
+  Alcotest.(check (list int)) "range seqnos" [ 1; 2 ]
+    (List.map (fun (x : Record.t) -> x.seqno) r);
+  Alcotest.check_raises "gap raises"
+    (Invalid_argument "Record.Store.range: creator 1 missing seq 3")
+    (fun () -> ignore (Record.Store.range s ~creator:1 ~lo:0 ~hi:4))
+
+let suite =
+  [
+    Alcotest.test_case "lock-protected counter" `Quick test_lock_counter;
+    Alcotest.test_case "barrier propagates writes" `Quick test_barrier_propagation;
+    Alcotest.test_case "multiple-writer pages merge" `Quick
+      test_multiple_writer_merge;
+    Alcotest.test_case "unsynchronized reads stay stale" `Quick
+      test_lazy_staleness;
+    Alcotest.test_case "eager release propagates" `Quick
+      test_eager_release_propagates;
+    Alcotest.test_case "on-node token costs no messages" `Quick
+      test_token_locality;
+    Alcotest.test_case "same-node faults merge" `Quick test_fault_merging;
+    Alcotest.test_case "protocol is deterministic" `Quick
+      test_protocol_determinism;
+    QCheck_alcotest.to_alcotest prop_barrier_converges;
+    QCheck_alcotest.to_alcotest prop_diff_roundtrip;
+    QCheck_alcotest.to_alcotest prop_vc_join_lub;
+    Alcotest.test_case "record store ranges" `Quick test_record_store;
+  ]
