@@ -39,16 +39,24 @@ type run_key = { app_key : string; platform_key : string; n : int }
 
 let run_cache : (run_key, Report.t) Hashtbl.t = Hashtbl.create 64
 
+(* Fresh (non-memoized) runs, in execution order, with their wall time. *)
+let run_log : (run_key * float * Report.t) list ref = ref []
+
 let timed_run ~app_key ~(platform : Platform.t) ~platform_key app ~n =
   let key = { app_key; platform_key; n } in
   match Hashtbl.find_opt run_cache key with
   | Some r -> r
   | None ->
       let t0 = Unix.gettimeofday () in
+      let a0 = Gc.minor_words () in
       let r = platform.Platform.run app ~nprocs:n in
-      Printf.printf "    [ran %s on %s, %d procs: %.3f sim s, %.1f wall s]\n%!"
-        app_key platform_key n (Report.seconds r) (Unix.gettimeofday () -. t0);
+      let wall = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "    [ran %s on %s, %d procs: %.3f sim s, %.1f wall s, %.2fG alloc]\n%!"
+        app_key platform_key n (Report.seconds r) wall
+        ((Gc.minor_words () -. a0) /. 1e9);
       Hashtbl.replace run_cache key r;
+      run_log := (key, wall, r) :: !run_log;
       r
 
 (* ------------------------------------------------------------------ *)
@@ -563,8 +571,11 @@ let micro () =
   let diff_roundtrip =
     let words = 512 in
     let mem = Memory.create ~words in
-    let twin = Array.init words (fun i -> Int64.of_int i) in
-    Array.iteri (fun i v -> Memory.set mem i v) twin;
+    let twin = Memory.create ~words in
+    for i = 0 to words - 1 do
+      Memory.set_int twin i i
+    done;
+    Memory.copy_all ~src:twin ~dst:mem;
     for i = 0 to 63 do
       Memory.set_int mem (i * 8) (i + 10_000)
     done;
@@ -762,6 +773,69 @@ let experiments =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: BENCH_access.json                         *)
+
+(* Hand-rolled JSON writer (no JSON library in the tree).  Floats use
+   %.17g so values round-trip bit-exactly; checksums are compared
+   across runs by external tooling. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let write_bench_json ~path ~total_wall ~experiment_walls =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"bench_access/1\",\n";
+  out "  \"scale\": %S,\n" (Registry.scale_name !scale);
+  out "  \"total_wall_s\": %s,\n" (json_float total_wall);
+  out "  \"experiments\": [\n";
+  let n_exp = List.length experiment_walls in
+  List.iteri
+    (fun i (id, wall) ->
+      out "    {\"id\": \"%s\", \"wall_s\": %s}%s\n" (json_escape id)
+        (json_float wall)
+        (if i = n_exp - 1 then "" else ","))
+    experiment_walls;
+  out "  ],\n";
+  out "  \"runs\": [\n";
+  let runs = List.rev !run_log in
+  let n_runs = List.length runs in
+  List.iteri
+    (fun i ({ app_key; platform_key; n }, wall, r) ->
+      out
+        "    {\"app\": \"%s\", \"platform\": \"%s\", \"nprocs\": %d, \
+         \"wall_s\": %s, \"sim_cycles\": %d, \"sim_s\": %s, \
+         \"messages\": %d, \"kbytes\": %d, \"checksum\": %s}%s\n"
+        (json_escape app_key) (json_escape platform_key) n (json_float wall)
+        r.Report.cycles
+        (json_float (Report.seconds r))
+        (Report.get r "net.msgs.total")
+        (Report.get r "net.bytes.total" / 1024)
+        (json_float r.Report.checksum)
+        (if i = n_runs - 1 then "" else ","))
+    runs;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let parse_args () =
@@ -792,6 +866,9 @@ let parse_args () =
   go (List.tl (Array.to_list Sys.argv))
 
 let () =
+  (* The simulators allocate short-lived boxes at a high rate; a larger
+     minor heap cuts collection counts by two orders of magnitude. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
   parse_args ();
   if !list_only then
     List.iter (fun e -> Printf.printf "%-6s %s\n" e.id e.title) experiments
@@ -803,14 +880,23 @@ let () =
     let t0 = Unix.gettimeofday () in
     Printf.printf "Reproduction harness: Cox et al., ISCA 1994 (scale = %s)\n\n"
       (Registry.scale_name !scale);
+    let experiment_walls = ref [] in
     List.iter
       (fun e ->
         if wanted e then begin
           Printf.printf "=== %s: %s ===\n%!" (String.uppercase_ascii e.id)
             e.title;
+          let e0 = Unix.gettimeofday () in
           e.run ();
+          experiment_walls :=
+            (e.id, Unix.gettimeofday () -. e0) :: !experiment_walls;
           print_newline ()
         end)
       experiments;
-    Printf.printf "Total wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+    let total_wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "Total wall time: %.1f s\n" total_wall;
+    let path = "BENCH_access.json" in
+    write_bench_json ~path ~total_wall
+      ~experiment_walls:(List.rev !experiment_walls);
+    Printf.printf "Wrote %s\n" path
   end

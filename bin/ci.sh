@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI gate: type-check everything, run the full test suite, and refuse to
+# pass if build artifacts sneak back into the git index.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if git ls-files --error-unmatch _build >/dev/null 2>&1 || \
+   [ -n "$(git ls-files '_build/*')" ]; then
+  echo "ci: _build/ is tracked in the git index; remove it" >&2
+  exit 1
+fi
+
+dune build @check
+dune runtest
+
+echo "ci: OK"

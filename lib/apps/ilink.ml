@@ -95,17 +95,20 @@ let work p sh lay costs (ctx : Parmacs.ctx) =
         ll := !ll +. Parmacs.read_f ctx (lay.partials + (q * page_words))
       done;
       let grad = Array.make theta_words 0.0 in
+      let row = Array.make sh.result_words 0.0 in
       for f = 0 to sh.families - 1 do
+        (* Each family's result record is contiguous: gather it whole. *)
+        Parmacs.read_range_f ctx (lay.results + (f * sh.result_words)) row;
         for r = 0 to sh.result_words - 1 do
-          let v = Parmacs.read_f ctx (lay.results + (f * sh.result_words) + r) in
-          grad.(r mod theta_words) <- grad.(r mod theta_words) +. v
+          grad.(r mod theta_words) <- grad.(r mod theta_words) +. row.(r)
         done
       done;
+      let theta = Array.make theta_words 0.0 in
+      Parmacs.read_range_f ctx lay.theta theta;
       for k = 0 to theta_words - 1 do
-        let t = Parmacs.read_f ctx (lay.theta + k) in
-        Parmacs.write_f ctx (lay.theta + k)
-          (t +. (1e-4 *. grad.(k) /. float_of_int sh.families))
+        theta.(k) <- theta.(k) +. (1e-4 *. grad.(k) /. float_of_int sh.families)
       done;
+      Parmacs.write_range_f ctx lay.theta theta;
       Parmacs.write_f ctx lay.loglike !ll
     end
   done;

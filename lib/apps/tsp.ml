@@ -114,15 +114,15 @@ let work p lay (ctx : Parmacs.ctx) =
   let slot_addr s = lay.slots + (s * lay.slot_words) in
   (* Private copy of a popped tour. *)
   let tour = Array.make n 0 in
+  let slot_buf = Array.make (n + 1) 0 in
   let push_child ~len =
-    (* Caller holds the queue lock; [tour.(0..len-1)] is the child. *)
+    (* Caller holds the queue lock; [tour.(0..len-1)] is the child.  The
+       slot header and body are contiguous: store them as one range. *)
     let top = Parmacs.read_i ctx lay.qtop in
     if top >= p.queue_capacity then failwith "tsp: queue overflow";
-    let a = slot_addr top in
-    Parmacs.write_i ctx a len;
-    for k = 0 to len - 1 do
-      Parmacs.write_i ctx (a + 1 + k) tour.(k)
-    done;
+    slot_buf.(0) <- len;
+    Array.blit tour 0 slot_buf 1 len;
+    ctx.range.write_is (slot_addr top) slot_buf 0 (len + 1);
     Parmacs.write_i ctx lay.qtop (top + 1)
   in
   let rec dfs ~len ~path_len ~visited =
@@ -172,9 +172,7 @@ let work p lay (ctx : Parmacs.ctx) =
     if top > 0 then begin
       let a = slot_addr (top - 1) in
       let len = Parmacs.read_i ctx a in
-      for k = 0 to len - 1 do
-        tour.(k) <- Parmacs.read_i ctx (a + 1 + k)
-      done;
+      ctx.range.read_is (a + 1) tour 0 len;
       Parmacs.write_i ctx lay.qtop (top - 1);
       Parmacs.write_i ctx (lay.qtop + 1) (Parmacs.read_i ctx (lay.qtop + 1) + 1);
       ctx.unlock queue_lock;

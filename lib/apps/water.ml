@@ -80,12 +80,16 @@ let work p lay (ctx : Parmacs.ctx) =
   assert (ctx.nprocs <= 64);
   let n = p.molecules in
   let lo = n * ctx.id / ctx.nprocs and hi = n * (ctx.id + 1) / ctx.nprocs in
+  let buf3 = Array.make 3 0.0 in
   let read3 base m =
-    let a = base + (3 * m) in
-    let x = Parmacs.read_f ctx a in
-    let y = Parmacs.read_f ctx (a + 1) in
-    let z = Parmacs.read_f ctx (a + 2) in
-    (x, y, z)
+    ctx.range.read_fs (base + (3 * m)) buf3 0 3;
+    (buf3.(0), buf3.(1), buf3.(2))
+  in
+  let write3 base m x y z =
+    buf3.(0) <- x;
+    buf3.(1) <- y;
+    buf3.(2) <- z;
+    ctx.range.write_fs (base + (3 * m)) buf3 0 3
   in
   let add_force_locked m (fx, fy, fz) =
     ctx.lock (molecule_lock m);
@@ -98,12 +102,12 @@ let work p lay (ctx : Parmacs.ctx) =
   let acc = Array.make (3 * n) 0.0 in
   let acc_touched = Array.make n false in
   for _step = 1 to p.steps do
-    (* Phase 1: owners clear their molecules' force records. *)
-    for m = lo to hi - 1 do
-      for k = 0 to 2 do
-        Parmacs.write_f ctx (lay.force + (3 * m) + k) 0.0
-      done
-    done;
+    (* Phase 1: owners clear their molecules' force records — one
+       contiguous store range over the owned segment. *)
+    if hi > lo then begin
+      let zeros = Array.make (3 * (hi - lo)) 0.0 in
+      Parmacs.write_range_f ctx (lay.force + (3 * lo)) zeros
+    end;
     ctx.barrier 1;
     (* Phase 2: pairwise forces.  Processor [p] computes interactions of
        its molecules with all higher-numbered ones. *)
@@ -149,15 +153,9 @@ let work p lay (ctx : Parmacs.ctx) =
       let fx, fy, fz = read3 lay.force m in
       let vx, vy, vz = read3 lay.vel m in
       let vx = vx +. (fx *. dt) and vy = vy +. (fy *. dt) and vz = vz +. (fz *. dt) in
-      let a = lay.vel + (3 * m) in
-      Parmacs.write_f ctx a vx;
-      Parmacs.write_f ctx (a + 1) vy;
-      Parmacs.write_f ctx (a + 2) vz;
+      write3 lay.vel m vx vy vz;
       let xi, yi, zi = read3 lay.pos m in
-      let a = lay.pos + (3 * m) in
-      Parmacs.write_f ctx a (xi +. (vx *. dt));
-      Parmacs.write_f ctx (a + 1) (yi +. (vy *. dt));
-      Parmacs.write_f ctx (a + 2) (zi +. (vz *. dt));
+      write3 lay.pos m (xi +. (vx *. dt)) (yi +. (vy *. dt)) (zi +. (vz *. dt));
       ctx.compute integrate_compute_cycles
     done;
     ctx.barrier 1

@@ -27,6 +27,9 @@ type node = {
   id : int;
   mem : Memory.t;
   access : page_access array;
+  rights : Bytes.t;
+      (** software TLB mirroring [access]: ['\000'] Invalid, ['\001'] Read,
+          ['\002'] Write — consulted by the platforms' fast paths. *)
   mpages : (int, mpage) Hashtbl.t;  (** pages this node manages *)
   mlocks : (int, mlock) Hashtbl.t;  (** locks this node manages *)
   pending_reqs : (int, Proto.t Mailbox.t) Hashtbl.t;
@@ -46,10 +49,23 @@ type t = {
   n_nodes : int;
   nodes : node array;
   barriers : barrier_state array;
+  page_shift : int;  (** log2 page_words, or -1 if not a power of two *)
   mutable page_hook : node:int -> page:int -> unit;
 }
 
-let page_of t addr = addr / t.page_words
+let page_of t addr =
+  if t.page_shift >= 0 then addr lsr t.page_shift else addr / t.page_words
+
+let page_shift t = t.page_shift
+
+let access_rights t ~node = t.nodes.(node).rights
+
+(* Every [access] transition goes through here so the TLB mirror never
+   drifts. *)
+let set_access nd page (a : page_access) =
+  nd.access.(page) <- a;
+  Bytes.unsafe_set nd.rights page
+    (match a with Invalid -> '\000' | Read -> '\001' | Write -> '\002')
 
 let memory t ~node = t.nodes.(node).mem
 
@@ -82,6 +98,7 @@ let create eng counters fabric ~page_words ~shared_words ~memories =
       id;
       mem = memories.(id);
       access = Array.make n_pages Read;
+      rights = Bytes.make n_pages (if n_nodes = 1 then '\002' else '\001');
       mpages;
       mlocks = Hashtbl.create 16;
       pending_reqs = Hashtbl.create 16;
@@ -101,6 +118,11 @@ let create eng counters fabric ~page_words ~shared_words ~memories =
     n_nodes;
     nodes = Array.init n_nodes mk_node;
     barriers = Array.init 16 (fun _ -> { arrivals = [] });
+    page_shift =
+      (if page_words > 0 && page_words land (page_words - 1) = 0 then
+         let rec go s n = if n = 1 then s else go (s + 1) (n lsr 1) in
+         go 0 page_words
+       else -1);
     page_hook = (fun ~node:_ ~page:_ -> ());
   }
 
@@ -253,7 +275,7 @@ and dispatch t fiber nd ~src body =
       mgr_request t fiber nd page { kind = Write; requester; req }
   | Proto.Read_fwd { page; requester; req } ->
       (* We are the owner: downgrade and ship a copy. *)
-      if nd.access.(page) = Write then nd.access.(page) <- Read;
+      if nd.access.(page) = Write then set_access nd page Read;
       Engine.advance fiber t.page_words;
       deliver t fiber ~src:nd.id ~dst:requester
         (Proto.Page_copy { page; req; data = page_data t nd page });
@@ -262,12 +284,12 @@ and dispatch t fiber nd ~src body =
       (* We are the owner: ship the page with ownership and drop it. *)
       Engine.advance fiber t.page_words;
       let data = Some (page_data t nd page) in
-      nd.access.(page) <- Invalid;
+      set_access nd page Invalid;
       deliver t fiber ~src:nd.id ~dst:requester
         (Proto.Page_grant { page; req; data });
       Counters.incr t.counters "ivy.page_transfers"
   | Proto.Invalidate { page; req } ->
-      nd.access.(page) <- Invalid;
+      set_access nd page Invalid;
       deliver t fiber ~src:nd.id ~dst:(manager_of t page)
         (Proto.Inval_ack { page; req })
   | Proto.Inval_ack { page; _ } ->
@@ -351,10 +373,10 @@ let fault t fiber nd page (kind : page_access) =
     (match Mailbox.recv fiber mb with
     | Proto.Page_copy { data; _ } ->
         install_page t fiber nd page data;
-        nd.access.(page) <- Read
+        set_access nd page Read
     | Proto.Page_grant { data; _ } ->
         Option.iter (install_page t fiber nd page) data;
-        nd.access.(page) <- Write
+        set_access nd page Write
     | _ -> failwith "ivy: unexpected fault response");
     deliver t fiber ~src:nd.id ~dst:mgr
       (Proto.Txn_done
@@ -380,6 +402,47 @@ let write_guard t fiber ~node addr =
     let page = page_of t addr in
     while nd.access.(page) <> Write do
       fault t fiber nd page Write
+    done
+  end
+
+(* Range guards: one guard per overlapped page, in address order, handing
+   each in-page run to [f run_addr run_words] right after its guard — the
+   per-page interleaving keeps the sequence observably identical to the
+   per-word loop (see the TreadMarks counterpart).  [f] must not yield. *)
+
+let read_range_guard t fiber ~node addr words ~f =
+  if t.n_nodes = 1 then f addr words
+  else begin
+    let nd = t.nodes.(node) in
+    let pw = t.page_words in
+    let stop = addr + words in
+    let a = ref addr in
+    while !a < stop do
+      let page = page_of t !a in
+      let run = min ((page + 1) * pw) stop - !a in
+      while nd.access.(page) = Invalid do
+        fault t fiber nd page Read
+      done;
+      f !a run;
+      a := !a + run
+    done
+  end
+
+let write_range_guard t fiber ~node addr words ~f =
+  if t.n_nodes = 1 then f addr words
+  else begin
+    let nd = t.nodes.(node) in
+    let pw = t.page_words in
+    let stop = addr + words in
+    let a = ref addr in
+    while !a < stop do
+      let page = page_of t !a in
+      let run = min ((page + 1) * pw) stop - !a in
+      while nd.access.(page) <> Write do
+        fault t fiber nd page Write
+      done;
+      f !a run;
+      a := !a + run
     done
   end
 

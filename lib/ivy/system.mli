@@ -37,9 +37,30 @@ val start : t -> unit
 
 val page_of : t -> int -> int
 
+(** [page_shift t] is [log2 page_words], or [-1] when [page_words] is not
+    a power of two (then the TLB fast path must not be used). *)
+val page_shift : t -> int
+
+(** [access_rights t ~node]: one byte per page mirroring the node's access
+    — ['\000'] Invalid, ['\001'] Read, ['\002'] Write.  Read-only for
+    callers; platforms index it with [addr lsr page_shift] to skip the
+    guard call when the page is already accessible. *)
+val access_rights : t -> node:int -> Bytes.t
+
 val read_guard : t -> Shm_sim.Engine.fiber -> node:int -> int -> unit
 
 val write_guard : t -> Shm_sim.Engine.fiber -> node:int -> int -> unit
+
+(** [read_range_guard t fiber ~node addr words ~f] guards each overlapped
+    page once, in order, calling [f run_addr run_words] per in-page run
+    immediately after that page's guard.  [f] must not yield. *)
+val read_range_guard :
+  t -> Shm_sim.Engine.fiber -> node:int -> int -> int ->
+  f:(int -> int -> unit) -> unit
+
+val write_range_guard :
+  t -> Shm_sim.Engine.fiber -> node:int -> int -> int ->
+  f:(int -> int -> unit) -> unit
 
 val acquire : t -> Shm_sim.Engine.fiber -> node:int -> lock:int -> unit
 

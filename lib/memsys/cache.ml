@@ -8,20 +8,34 @@ let state_name = function
 
 type t = {
   block_words : int;
+  block_shift : int; (* log2 block_words: block index = addr lsr block_shift *)
+  block_mask : int; (* block_words - 1 *)
   lines : int;
+  line_mask : int; (* lines - 1 *)
   tags : int array; (* resident block address per line; -1 = empty *)
   states : state array;
   mutable hits : int;
   mutable misses : int;
 }
 
+let log2_exact name n =
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Cache.create: %s must be a power of two" name);
+  let rec go s n = if n = 1 then s else go (s + 1) (n lsr 1) in
+  go 0 n
+
 let create ~size_words ~block_words =
   if size_words mod block_words <> 0 then
     invalid_arg "Cache.create: size not a multiple of block size";
+  let block_shift = log2_exact "block_words" block_words in
   let lines = size_words / block_words in
+  let _ = log2_exact "size_words / block_words" lines in
   {
     block_words;
+    block_shift;
+    block_mask = block_words - 1;
     lines;
+    line_mask = lines - 1;
     tags = Array.make lines (-1);
     states = Array.make lines Invalid;
     hits = 0;
@@ -32,13 +46,14 @@ let block_words t = t.block_words
 
 let lines t = t.lines
 
-let block_of t addr = addr - (addr mod t.block_words)
+let[@inline] block_of t addr = addr land lnot t.block_mask
 
-let line_of t block = block / t.block_words mod t.lines
+let[@inline] line_of t block = (block lsr t.block_shift) land t.line_mask
 
-let state_of t block =
+let[@inline] state_of t block =
   let line = line_of t block in
-  if t.tags.(line) = block then t.states.(line) else Invalid
+  if Array.unsafe_get t.tags line = block then Array.unsafe_get t.states line
+  else Invalid
 
 let set_state t block state =
   let line = line_of t block in
@@ -46,7 +61,7 @@ let set_state t block state =
     invalid_arg "Cache.set_state: block not resident";
   t.states.(line) <- state
 
-let probe t addr = state_of t (block_of t addr)
+let[@inline] probe t addr = state_of t (block_of t addr)
 
 let insert t block state =
   let line = line_of t block in
@@ -84,5 +99,6 @@ let iter_valid t f =
 
 let hits t = t.hits
 let misses t = t.misses
-let note_hit t = t.hits <- t.hits + 1
-let note_miss t = t.misses <- t.misses + 1
+let[@inline] note_hit t = t.hits <- t.hits + 1
+let[@inline] note_miss t = t.misses <- t.misses + 1
+let[@inline] note_hits t n = t.hits <- t.hits + n

@@ -161,10 +161,13 @@ let rec fetch_for_read t fiber ~node block =
           ignore (Cache.insert cache block Cache.Shared)
       | Uncached | Owned_by _ -> fetch_for_read t fiber ~node block)
 
-let read t fiber ~node addr =
+(* Coherence and timing of a load, without the data movement.  No yield
+   after the final state change, so the caller's load immediately after
+   this returns sees the same word {!read} would have returned. *)
+let read_timing t fiber ~node addr =
   let cache = t.caches.(node) in
   let block = Cache.block_of cache addr in
-  (match Cache.state_of cache block with
+  match Cache.state_of cache block with
   | Cache.Shared | Cache.Exclusive | Cache.Modified ->
       Cache.note_hit cache;
       Engine.advance fiber 1
@@ -174,7 +177,10 @@ let read t fiber ~node addr =
       (* Retire the displaced line before the fill so the directory never
          carries a stale owner across our yields. *)
       evict t fiber ~node (Cache.peek_victim cache block);
-      fetch_for_read t fiber ~node block);
+      fetch_for_read t fiber ~node block
+
+let read t fiber ~node addr =
+  read_timing t fiber ~node addr;
   Memory.get t.mem addr
 
 (* Make the directory entry [Owned_by node], invalidating other copies.
@@ -233,10 +239,12 @@ let rec ensure_modified t fiber ~node block =
       ignore (Cache.insert cache block Cache.Modified);
       ensure_modified t fiber ~node block
 
-let write t fiber ~node addr value =
+(* Store counterpart of {!read_timing}: the caller performs the actual
+   memory update immediately after, with no yield in between. *)
+let write_timing t fiber ~node addr =
   let cache = t.caches.(node) in
   let block = Cache.block_of cache addr in
-  (match Cache.state_of cache block with
+  match Cache.state_of cache block with
   | Cache.Modified ->
       Cache.note_hit cache;
       Engine.advance fiber 1
@@ -252,8 +260,75 @@ let write t fiber ~node addr value =
   | Cache.Invalid ->
       Cache.note_miss cache;
       Engine.sync fiber;
-      ensure_modified t fiber ~node block);
+      ensure_modified t fiber ~node block
+
+let write t fiber ~node addr value =
+  write_timing t fiber ~node addr;
   Memory.set t.mem addr value
+
+(* Range accesses; same contract as {!Snoop.read_range}: [f pos len] moves
+   the data, is interleaved exactly where the per-word loop would touch
+   memory, and must not yield.  Hit runs batch the counter and the clock;
+   any word needing a directory transaction goes through the per-word
+   path. *)
+
+let read_range t fiber ~node addr words ~f =
+  let cache = t.caches.(node) in
+  let bw = t.cfg.cache_block_words in
+  let stop = addr + words in
+  let a = ref addr in
+  while !a < stop do
+    let block = Cache.block_of cache !a in
+    match Cache.state_of cache block with
+    | Cache.Shared | Cache.Exclusive | Cache.Modified ->
+        let cnt = min (block + bw) stop - !a in
+        Cache.note_hits cache cnt;
+        Engine.advance fiber cnt;
+        f !a cnt;
+        a := !a + cnt
+    | Cache.Invalid ->
+        Cache.note_miss cache;
+        Engine.sync fiber;
+        evict t fiber ~node (Cache.peek_victim cache block);
+        fetch_for_read t fiber ~node block;
+        f !a 1;
+        incr a
+  done
+
+let write_range t fiber ~node addr words ~f =
+  let cache = t.caches.(node) in
+  let bw = t.cfg.cache_block_words in
+  let stop = addr + words in
+  let a = ref addr in
+  while !a < stop do
+    let block = Cache.block_of cache !a in
+    match Cache.state_of cache block with
+    | Cache.Modified ->
+        let cnt = min (block + bw) stop - !a in
+        Cache.note_hits cache cnt;
+        Engine.advance fiber cnt;
+        f !a cnt;
+        a := !a + cnt
+    | Cache.Exclusive ->
+        Cache.note_hit cache;
+        Engine.advance fiber 1;
+        Cache.set_state cache block Cache.Modified;
+        f !a 1;
+        incr a
+    | Cache.Shared ->
+        Cache.note_hit cache;
+        Engine.sync fiber;
+        Engine.advance fiber 1;
+        ensure_modified t fiber ~node block;
+        f !a 1;
+        incr a
+    | Cache.Invalid ->
+        Cache.note_miss cache;
+        Engine.sync fiber;
+        ensure_modified t fiber ~node block;
+        f !a 1;
+        incr a
+  done
 
 let rmw t fiber ~node addr f =
   Engine.sync fiber;

@@ -9,11 +9,20 @@ let create ~words : t =
 
 let words (t : t) = Array1.dim t
 
-let get (t : t) i = Array1.unsafe_get t i
-let set (t : t) i v = Array1.unsafe_set t i v
+let[@inline] get (t : t) i = Array1.unsafe_get t i
+let[@inline] set (t : t) i v = Array1.unsafe_set t i v
 
-let get_float t i = Int64.float_of_bits (get t i)
-let set_float t i v = set t i (Int64.bits_of_float v)
+(* Same buffer viewed as unboxed doubles.  Int64 and Float64 bigarrays
+   share element size and layout; only the kind tag differs, and the
+   type-specialized access primitives never consult it.  Going through
+   the float view keeps scalar float traffic allocation-free, where the
+   int64 elements would be boxed on every load. *)
+type fview = (float, float64_elt, c_layout) Array1.t
+
+let float_view (t : t) : fview = Obj.magic t
+
+let[@inline] get_float t i = Array1.unsafe_get (float_view t) i
+let[@inline] set_float t i (v : float) = Array1.unsafe_set (float_view t) i v
 
 let get_int t i = Int64.to_int (get t i)
 let set_int t i v = set t i (Int64.of_int v)
@@ -26,3 +35,62 @@ let copy_all ~src ~dst = Array1.blit src dst
 let equal_range a b ~pos ~len =
   let rec loop i = i >= pos + len || (get a i = get b i && loop (i + 1)) in
   loop pos
+
+(* Bulk typed transfers.  Keeping these loops inside this unit lets the
+   compiler keep the int64/float values unboxed end to end; going through
+   [get]/[set] from another module would box one value per word. *)
+
+let read_floats (t : t) pos (dst : float array) dst_pos len =
+  let fv = float_view t in
+  for i = 0 to len - 1 do
+    Array.unsafe_set dst (dst_pos + i) (Array1.unsafe_get fv (pos + i))
+  done
+
+let write_floats (t : t) pos (src : float array) src_pos len =
+  let fv = float_view t in
+  for i = 0 to len - 1 do
+    Array1.unsafe_set fv (pos + i) (Array.unsafe_get src (src_pos + i))
+  done
+
+let read_ints (t : t) pos (dst : int array) dst_pos len =
+  for i = 0 to len - 1 do
+    Array.unsafe_set dst (dst_pos + i)
+      (Int64.to_int (Array1.unsafe_get t (pos + i)))
+  done
+
+let write_ints (t : t) pos (src : int array) src_pos len =
+  for i = 0 to len - 1 do
+    Array1.unsafe_set t (pos + i)
+      (Int64.of_int (Array.unsafe_get src (src_pos + i)))
+  done
+
+(* Bitwise word equality without allocation: xor the operands and test the
+   low 63 bits and the top bit separately ([Int64.to_int] drops bit 63). *)
+let[@inline] same_bits x y =
+  let d = Int64.logxor x y in
+  Int64.to_int d lor Int64.to_int (Int64.shift_right_logical d 63) = 0
+
+(* First offset k in [0, len) where [a.(apos+k)] and [b.(bpos+k)] differ
+   bitwise, or -1 if the ranges are identical. *)
+let first_diff (a : t) apos (b : t) bpos len =
+  let k = ref 0 in
+  while
+    !k < len
+    && same_bits (Array1.unsafe_get a (apos + !k)) (Array1.unsafe_get b (bpos + !k))
+  do
+    incr k
+  done;
+  if !k >= len then -1 else !k
+
+(* First offset k in [0, len) where the ranges agree bitwise, or -1. *)
+let first_match (a : t) apos (b : t) bpos len =
+  let k = ref 0 in
+  while
+    !k < len
+    && not
+         (same_bits (Array1.unsafe_get a (apos + !k))
+            (Array1.unsafe_get b (bpos + !k)))
+  do
+    incr k
+  done;
+  if !k >= len then -1 else !k

@@ -28,3 +28,29 @@ val copy_all : src:t -> dst:t -> unit
 
 (** [equal_range a b ~pos ~len] checks word-for-word equality. *)
 val equal_range : t -> t -> pos:int -> len:int -> bool
+
+(** {2 Bulk typed transfers}
+
+    Word-at-a-time conversion loops kept inside the module so the
+    intermediate int64/float values stay unboxed. *)
+
+(** [read_floats t pos dst dst_pos len] moves [len] words starting at word
+    [pos] into [dst.(dst_pos ..)], reinterpreting each as a float. *)
+val read_floats : t -> int -> float array -> int -> int -> unit
+
+val write_floats : t -> int -> float array -> int -> int -> unit
+
+val read_ints : t -> int -> int array -> int -> int -> unit
+
+val write_ints : t -> int -> int array -> int -> int -> unit
+
+(** {2 Bitwise comparison scans} *)
+
+(** [first_diff a apos b bpos len] is the first offset [k] in [0, len)
+    where [a.(apos+k)] and [b.(bpos+k)] differ bitwise, or [-1] if the
+    ranges are identical. *)
+val first_diff : t -> int -> t -> int -> int -> int
+
+(** [first_match a apos b bpos len] is the first offset [k] in [0, len)
+    where the ranges agree bitwise, or [-1]. *)
+val first_match : t -> int -> t -> int -> int -> int

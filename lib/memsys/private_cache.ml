@@ -26,7 +26,7 @@ let create cfg =
 
 let config t = t.cfg
 
-let read t fiber addr =
+let[@inline] read t fiber addr =
   match Cache.probe t.cache addr with
   | Cache.Invalid ->
       Cache.note_miss t.cache;
@@ -36,7 +36,7 @@ let read t fiber addr =
       Cache.note_hit t.cache;
       Engine.advance fiber t.cfg.hit_cycles
 
-let write t fiber addr =
+let[@inline] write t fiber addr =
   match t.cfg.write_policy with
   | Write_through_buffered ->
       (* Write buffer absorbs the store; no allocation on miss. *)
@@ -51,6 +51,59 @@ let write t fiber addr =
           Cache.note_hit t.cache;
           ignore (Cache.insert t.cache (Cache.block_of t.cache addr) Cache.Modified);
           Engine.advance fiber t.cfg.hit_cycles)
+
+(* Range variants: charge exactly what the per-word loop would — same
+   hit/miss counts, same cache end-state, same total cycles — but with one
+   probe per block run and a single clock bump.  [read]/[write] never yield,
+   so batching the [advance] is observably identical. *)
+
+let read_range t fiber addr words =
+  let c = t.cache in
+  let bw = t.cfg.block_words in
+  let cycles = ref 0 in
+  let a = ref addr in
+  let stop = addr + words in
+  while !a < stop do
+    let block = Cache.block_of c !a in
+    let cnt = min (block + bw) stop - !a in
+    (match Cache.state_of c block with
+    | Cache.Invalid ->
+        Cache.note_miss c;
+        ignore (Cache.insert c block Cache.Exclusive);
+        if cnt > 1 then Cache.note_hits c (cnt - 1);
+        cycles := !cycles + t.cfg.miss_cycles + ((cnt - 1) * t.cfg.hit_cycles)
+    | Cache.Shared | Cache.Exclusive | Cache.Modified ->
+        Cache.note_hits c cnt;
+        cycles := !cycles + (cnt * t.cfg.hit_cycles));
+    a := block + bw
+  done;
+  Engine.advance fiber !cycles
+
+let write_range t fiber addr words =
+  match t.cfg.write_policy with
+  | Write_through_buffered -> Engine.advance fiber (words * t.cfg.hit_cycles)
+  | Write_back_allocate ->
+      let c = t.cache in
+      let bw = t.cfg.block_words in
+      let cycles = ref 0 in
+      let a = ref addr in
+      let stop = addr + words in
+      while !a < stop do
+        let block = Cache.block_of c !a in
+        let cnt = min (block + bw) stop - !a in
+        (match Cache.state_of c block with
+        | Cache.Invalid ->
+            Cache.note_miss c;
+            if cnt > 1 then Cache.note_hits c (cnt - 1);
+            cycles :=
+              !cycles + t.cfg.miss_cycles + ((cnt - 1) * t.cfg.hit_cycles)
+        | Cache.Shared | Cache.Exclusive | Cache.Modified ->
+            Cache.note_hits c cnt;
+            cycles := !cycles + (cnt * t.cfg.hit_cycles));
+        ignore (Cache.insert c block Cache.Modified);
+        a := block + bw
+      done;
+      Engine.advance fiber !cycles
 
 let invalidate_range t ~addr ~words =
   let bw = t.cfg.block_words in

@@ -192,34 +192,41 @@ let bus_upgrade t fiber ~cpu block =
   | Cache.Exclusive | Cache.Modified ->
       Cache.set_state t.coherents.(cpu) block Cache.Modified)
 
-let primary_fill t cpu addr =
+let[@inline] primary_fill t cpu addr =
   if Array.length t.primaries > 0 then begin
-    let p = t.primaries.(cpu) in
+    let p = Array.unsafe_get t.primaries cpu in
     ignore (Cache.insert p (Cache.block_of p addr) Cache.Shared)
   end
 
-let read t fiber ~cpu addr =
-  let served_by_primary =
+(* Coherence and timing of a load, without the data movement; see
+   {!write_timing}.  No yield can occur after the final state change, so
+   loading the word right after this returns is equivalent to loading it
+   inside {!read}. *)
+let read_slow t fiber ~cpu addr =
+  let coh = Array.unsafe_get t.coherents cpu in
+  let block = Cache.block_of coh addr in
+  (match Cache.state_of coh block with
+  | Cache.Shared | Cache.Exclusive | Cache.Modified ->
+      Cache.note_hit coh;
+      Engine.advance fiber t.cfg.coherent_hit_cycles
+  | Cache.Invalid ->
+      Cache.note_miss coh;
+      Engine.advance fiber t.cfg.coherent_hit_cycles;
+      bus_read t fiber ~cpu block ~exclusive:false);
+  primary_fill t cpu addr
+
+let[@inline] read_timing t fiber ~cpu addr =
+  if
     Array.length t.primaries > 0
-    && Cache.probe t.primaries.(cpu) addr <> Cache.Invalid
-  in
-  if served_by_primary then begin
-    Cache.note_hit t.primaries.(cpu);
+    && Cache.probe (Array.unsafe_get t.primaries cpu) addr <> Cache.Invalid
+  then begin
+    Cache.note_hit (Array.unsafe_get t.primaries cpu);
     Engine.advance fiber 1
   end
-  else begin
-    let coh = t.coherents.(cpu) in
-    let block = Cache.block_of coh addr in
-    (match Cache.state_of coh block with
-    | Cache.Shared | Cache.Exclusive | Cache.Modified ->
-        Cache.note_hit coh;
-        Engine.advance fiber t.cfg.coherent_hit_cycles
-    | Cache.Invalid ->
-        Cache.note_miss coh;
-        Engine.advance fiber t.cfg.coherent_hit_cycles;
-        bus_read t fiber ~cpu block ~exclusive:false);
-    primary_fill t cpu addr
-  end;
+  else read_slow t fiber ~cpu addr
+
+let read t fiber ~cpu addr =
+  read_timing t fiber ~cpu addr;
   Memory.get t.mem addr
 
 let write_state_machine t fiber ~cpu addr =
@@ -236,17 +243,117 @@ let write_state_machine t fiber ~cpu addr =
 (* Coherence and timing of a store, without the data movement: callers
    that must interleave protocol layers (the HS platform's DSM guard) do
    the timing first and the actual memory update later, atomically. *)
-let write_timing t fiber ~cpu addr =
+let[@inline] write_timing t fiber ~cpu addr =
   (* Write-through primary with a write buffer: the store itself retires in
      one cycle; the coherent level may still need a transaction. *)
   Engine.advance fiber
     (if Array.length t.primaries > 0 then 1 else t.cfg.coherent_hit_cycles);
-  write_state_machine t fiber ~cpu addr;
+  (let coh = Array.unsafe_get t.coherents cpu in
+   match Cache.state_of coh (Cache.block_of coh addr) with
+   | Cache.Modified -> ()
+   | Cache.Exclusive | Cache.Shared | Cache.Invalid ->
+       write_state_machine t fiber ~cpu addr);
   primary_fill t cpu addr
 
 let write t fiber ~cpu addr value =
   write_timing t fiber ~cpu addr;
   Memory.set t.mem addr value
+
+(* Range accesses.  [f pos len] performs the data movement for the words
+   [pos, pos+len) and must not yield.  Runs of cache hits are batched (one
+   counter bump, one clock advance, one [f] call) — no yield can occur
+   inside a hit run, so this is observably identical to the per-word loop.
+   Any word needing a bus transaction goes through exactly the per-word
+   path, with its own [f] call immediately after, preserving the relative
+   order of yields and data movement (another CPU's store during a bus
+   stall must be visible to later words of the range, and not to earlier
+   ones, just as word-at-a-time). *)
+
+let read_range t fiber ~cpu addr words ~f =
+  let stop = addr + words in
+  let a = ref addr in
+  let coh = t.coherents.(cpu) in
+  if Array.length t.primaries > 0 then begin
+    let p = t.primaries.(cpu) in
+    let pbw = Cache.block_words p in
+    while !a < stop do
+      let pblock = Cache.block_of p !a in
+      if Cache.state_of p pblock <> Cache.Invalid then begin
+        let cnt = min (pblock + pbw) stop - !a in
+        Cache.note_hits p cnt;
+        Engine.advance fiber cnt;
+        f !a cnt;
+        a := !a + cnt
+      end
+      else begin
+        let cblock = Cache.block_of coh !a in
+        (match Cache.state_of coh cblock with
+        | Cache.Shared | Cache.Exclusive | Cache.Modified ->
+            Cache.note_hit coh;
+            Engine.advance fiber t.cfg.coherent_hit_cycles
+        | Cache.Invalid ->
+            Cache.note_miss coh;
+            Engine.advance fiber t.cfg.coherent_hit_cycles;
+            bus_read t fiber ~cpu cblock ~exclusive:false);
+        primary_fill t cpu !a;
+        f !a 1;
+        incr a
+      end
+    done
+  end
+  else begin
+    let cbw = Cache.block_words coh in
+    while !a < stop do
+      let cblock = Cache.block_of coh !a in
+      match Cache.state_of coh cblock with
+      | Cache.Shared | Cache.Exclusive | Cache.Modified ->
+          let cnt = min (cblock + cbw) stop - !a in
+          Cache.note_hits coh cnt;
+          Engine.advance fiber (cnt * t.cfg.coherent_hit_cycles);
+          f !a cnt;
+          a := !a + cnt
+      | Cache.Invalid ->
+          Cache.note_miss coh;
+          Engine.advance fiber t.cfg.coherent_hit_cycles;
+          bus_read t fiber ~cpu cblock ~exclusive:false;
+          primary_fill t cpu !a;
+          f !a 1;
+          incr a
+    done
+  end
+
+let write_range t fiber ~cpu addr words ~f =
+  let stop = addr + words in
+  let a = ref addr in
+  let coh = t.coherents.(cpu) in
+  let cbw = Cache.block_words coh in
+  let word_cycles =
+    if Array.length t.primaries > 0 then 1 else t.cfg.coherent_hit_cycles
+  in
+  while !a < stop do
+    let cblock = Cache.block_of coh !a in
+    if Cache.state_of coh cblock = Cache.Modified then begin
+      (* The whole run retires without any coherence action or yield. *)
+      let cnt = min (cblock + cbw) stop - !a in
+      Engine.advance fiber (cnt * word_cycles);
+      if Array.length t.primaries > 0 then begin
+        let p = t.primaries.(cpu) in
+        let pbw = Cache.block_words p in
+        let b = ref (Cache.block_of p !a) in
+        while !b < !a + cnt do
+          ignore (Cache.insert p !b Cache.Shared);
+          b := !b + pbw
+        done
+      end;
+      f !a cnt;
+      a := !a + cnt
+    end
+    else begin
+      write_timing t fiber ~cpu !a;
+      f !a 1;
+      incr a
+    end
+  done
 
 let rmw t fiber ~cpu addr f =
   Engine.sync fiber;

@@ -45,12 +45,36 @@ val read : t -> Shm_sim.Engine.fiber -> cpu:int -> int -> int64
 
 val write : t -> Shm_sim.Engine.fiber -> cpu:int -> int -> int64 -> unit
 
+(** [read_timing t fiber ~cpu addr]: coherence and timing of a load
+    without the data movement; no yield occurs after the final state
+    change, so a load performed immediately after sees the word {!read}
+    would have returned.  Lets platforms keep scalar float accesses
+    allocation-free. *)
+val read_timing : t -> Shm_sim.Engine.fiber -> cpu:int -> int -> unit
+
 (** [write_timing t fiber ~cpu addr] performs the coherence transaction
     and timing of a store without updating memory.  Layered protocols
     (DSM over a bus node) use it so the guard check, the store and the
     dirty-tracking stay atomic: do the timing (which may yield), then the
     guard, then the raw memory update. *)
 val write_timing : t -> Shm_sim.Engine.fiber -> cpu:int -> int -> unit
+
+(** [read_range t fiber ~cpu addr words ~f] performs the timing and
+    coherence of reads of [words] consecutive words from [addr],
+    observably identical to per-word {!read} calls (same counters, cycles,
+    bus transactions, yield points).  [f pos len] must move the data for
+    the words [pos, pos+len) and is called run by run, interleaved with
+    the protocol exactly where the per-word loop would read; it must not
+    yield. *)
+val read_range :
+  t -> Shm_sim.Engine.fiber -> cpu:int -> int -> int ->
+  f:(int -> int -> unit) -> unit
+
+(** Write counterpart of {!read_range}: [f pos len] must store the words
+    [pos, pos+len). *)
+val write_range :
+  t -> Shm_sim.Engine.fiber -> cpu:int -> int -> int ->
+  f:(int -> int -> unit) -> unit
 
 (** [rmw t fiber ~cpu addr f] atomically replaces the word with [f old],
     returning [old]; costs a write transaction. *)

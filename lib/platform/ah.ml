@@ -27,6 +27,7 @@ let make () =
     for cpu = 0 to nprocs - 1 do
       ignore
         (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:0 (fun f ->
+             let fcell = ref 0.0 in
              let ctx =
                {
                  Parmacs.id = cpu;
@@ -34,6 +35,23 @@ let make () =
                  read = (fun addr -> Directory.read machine f ~node:cpu addr);
                  write =
                    (fun addr v -> Directory.write machine f ~node:cpu addr v);
+                 fcell;
+                 readf =
+                   (fun addr ->
+                     Directory.read_timing machine f ~node:cpu addr;
+                     fcell := Memory.get_float mem addr);
+                 writef =
+                   (fun addr ->
+                     Directory.write_timing machine f ~node:cpu addr;
+                     Memory.set_float mem addr !fcell);
+                 range =
+                   Parmacs.range_ops_of_runs ~mem
+                     ~read_run:(fun addr words ~f:move ->
+                       Directory.read_range machine f ~node:cpu addr words
+                         ~f:move)
+                     ~write_run:(fun addr words ~f:move ->
+                       Directory.write_range machine f ~node:cpu addr words
+                         ~f:move);
                  lock = (fun l -> Hw_sync.lock sync f ~cpu l);
                  unlock = (fun l -> Hw_sync.unlock sync f ~cpu l);
                  barrier = (fun b -> Hw_sync.barrier sync f ~cpu b);

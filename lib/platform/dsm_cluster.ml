@@ -44,20 +44,67 @@ let make ?(notice_policy = Config.Lazy) ~name ~clock_mhz ~max_procs ~fabric_of
       ignore
         (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" node) ~at:0 (fun f ->
              let mem = memories.(node) and pc = caches.(node) in
+             (* Software-TLB fast path: one byte load decides whether the
+                guard call can be skipped (page readable / writable with
+                the twin in place).  The protocol keeps the byte current on
+                every transition, so the fast path is exactly the guard's
+                no-op branch. *)
+             let rights = System.access_rights sys ~node in
+             let shift = System.page_shift sys in
+             assert (shift >= 0);
+             let read addr =
+               if Bytes.unsafe_get rights (addr lsr shift) = '\000' then
+                 System.read_guard sys f ~node addr;
+               Private_cache.read pc f addr;
+               Memory.get mem addr
+             and write addr v =
+               if Bytes.unsafe_get rights (addr lsr shift) <> '\002' then
+                 System.write_guard sys f ~node addr;
+               Private_cache.write pc f addr;
+               Memory.set mem addr v
+             in
+             let fcell = ref 0.0 in
+             let readf addr =
+               if Bytes.unsafe_get rights (addr lsr shift) = '\000' then
+                 System.read_guard sys f ~node addr;
+               Private_cache.read pc f addr;
+               fcell := Memory.get_float mem addr
+             and writef addr =
+               if Bytes.unsafe_get rights (addr lsr shift) <> '\002' then
+                 System.write_guard sys f ~node addr;
+               Private_cache.write pc f addr;
+               Memory.set_float mem addr !fcell
+             in
+             let range =
+               match notice_policy with
+               | Config.Eager_invalidate ->
+                   (* Under eager-invalidate RC a notice broadcast can land
+                      inside the twin-creation yield mid-run; only the
+                      word-at-a-time order is exactly equivalent there. *)
+                   Parmacs.range_ops_wordwise ~read ~write
+               | Config.Lazy ->
+                   Parmacs.range_ops_of_runs ~mem
+                     ~read_run:(fun addr words ~f:move ->
+                       System.read_range_guard sys f ~node addr words
+                         ~f:(fun p l ->
+                           Private_cache.read_range pc f p l;
+                           move p l))
+                     ~write_run:(fun addr words ~f:move ->
+                       System.write_range_guard sys f ~node addr words
+                         ~f:(fun p l ->
+                           Private_cache.write_range pc f p l;
+                           move p l))
+             in
              let ctx =
                {
                  Parmacs.id = node;
                  nprocs;
-                 read =
-                   (fun addr ->
-                     System.read_guard sys f ~node addr;
-                     Private_cache.read pc f addr;
-                     Memory.get mem addr);
-                 write =
-                   (fun addr v ->
-                     System.write_guard sys f ~node addr;
-                     Private_cache.write pc f addr;
-                     Memory.set mem addr v);
+                 read;
+                 write;
+                 fcell;
+                 readf;
+                 writef;
+                 range;
                  lock = (fun l -> System.acquire sys f ~node ~lock:l);
                  unlock = (fun l -> System.release sys f ~node ~lock:l);
                  barrier = (fun b -> System.barrier_arrive sys f ~node ~id:b);
@@ -68,6 +115,7 @@ let make ?(notice_policy = Config.Lazy) ~name ~clock_mhz ~max_procs ~fabric_of
              ends.(node) <- Engine.clock f))
     done;
     Engine.run eng;
+    System.check_invariants sys;
     {
       Report.platform = name;
       app = app.name;
@@ -112,6 +160,7 @@ let dec_plain () =
     let finish = ref 0 in
     ignore
       (Engine.spawn eng ~name:"cpu0" ~at:0 (fun f ->
+           let fcell = ref 0.0 in
            let ctx =
              {
                Parmacs.id = 0;
@@ -124,6 +173,23 @@ let dec_plain () =
                  (fun addr v ->
                    Private_cache.write cache f addr;
                    Memory.set mem addr v);
+               fcell;
+               readf =
+                 (fun addr ->
+                   Private_cache.read cache f addr;
+                   fcell := Memory.get_float mem addr);
+               writef =
+                 (fun addr ->
+                   Private_cache.write cache f addr;
+                   Memory.set_float mem addr !fcell);
+               range =
+                 Parmacs.range_ops_of_runs ~mem
+                   ~read_run:(fun addr words ~f:move ->
+                     Private_cache.read_range cache f addr words;
+                     move addr words)
+                   ~write_run:(fun addr words ~f:move ->
+                     Private_cache.write_range cache f addr words;
+                     move addr words);
                lock = ignore;
                unlock = ignore;
                barrier = ignore;

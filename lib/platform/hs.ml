@@ -90,23 +90,41 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
         (Engine.spawn eng ~name:(Printf.sprintf "n%dc%d" node cpu) ~at:0
            (fun f ->
              let machine = machines.(node) in
+             let read addr =
+               System.read_guard sys f ~node addr;
+               Snoop.read machine f ~cpu addr
+             and write addr v =
+               (* Bus transaction first (it can yield), the DSM guard
+                  second, the store immediately after: a same-node
+                  release yielding in between would otherwise close
+                  the interval and lose this write from its diff. *)
+               Snoop.write_timing machine f ~cpu addr;
+               System.write_guard sys f ~node addr;
+               Memory.set memories.(node) addr v
+             in
+             let fcell = ref 0.0 in
+             let readf addr =
+               System.read_guard sys f ~node addr;
+               Snoop.read_timing machine f ~cpu addr;
+               fcell := Memory.get_float memories.(node) addr
+             and writef addr =
+               Snoop.write_timing machine f ~cpu addr;
+               System.write_guard sys f ~node addr;
+               Memory.set_float memories.(node) addr !fcell
+             in
              let ctx =
                {
                  Parmacs.id = p;
                  nprocs;
-                 read =
-                   (fun addr ->
-                     System.read_guard sys f ~node addr;
-                     Snoop.read machine f ~cpu addr);
-                 write =
-                   (fun addr v ->
-                     (* Bus transaction first (it can yield), the DSM guard
-                        second, the store immediately after: a same-node
-                        release yielding in between would otherwise close
-                        the interval and lose this write from its diff. *)
-                     Snoop.write_timing machine f ~cpu addr;
-                     System.write_guard sys f ~node addr;
-                     Memory.set memories.(node) addr v);
+                 read;
+                 write;
+                 fcell;
+                 readf;
+                 writef;
+                 (* The snoop-then-guard-then-store interleaving above is
+                    too delicate to batch; ranges fall back to the literal
+                    per-word loop here. *)
+                 range = Parmacs.range_ops_wordwise ~read ~write;
                  lock = (fun l -> System.acquire sys f ~node ~lock:l);
                  unlock = (fun l -> System.release sys f ~node ~lock:l);
                  barrier = (fun b -> node_barrier f ~node ~cpu b);

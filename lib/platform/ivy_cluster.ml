@@ -40,20 +40,57 @@ let make () =
       ignore
         (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" node) ~at:0 (fun f ->
              let mem = memories.(node) and pc = caches.(node) in
+             (* Software-TLB fast path: skip the guard when the rights byte
+                already grants the access (see dsm_cluster.ml). *)
+             let rights = Ivy.access_rights sys ~node in
+             let shift = Ivy.page_shift sys in
+             assert (shift >= 0);
+             let read addr =
+               if Bytes.unsafe_get rights (addr lsr shift) = '\000' then
+                 Ivy.read_guard sys f ~node addr;
+               Private_cache.read pc f addr;
+               Memory.get mem addr
+             and write addr v =
+               if Bytes.unsafe_get rights (addr lsr shift) <> '\002' then
+                 Ivy.write_guard sys f ~node addr;
+               Private_cache.write pc f addr;
+               Memory.set mem addr v
+             in
+             let fcell = ref 0.0 in
+             let readf addr =
+               if Bytes.unsafe_get rights (addr lsr shift) = '\000' then
+                 Ivy.read_guard sys f ~node addr;
+               Private_cache.read pc f addr;
+               fcell := Memory.get_float mem addr
+             and writef addr =
+               if Bytes.unsafe_get rights (addr lsr shift) <> '\002' then
+                 Ivy.write_guard sys f ~node addr;
+               Private_cache.write pc f addr;
+               Memory.set_float mem addr !fcell
+             in
+             let range =
+               Parmacs.range_ops_of_runs ~mem
+                 ~read_run:(fun addr words ~f:move ->
+                   Ivy.read_range_guard sys f ~node addr words
+                     ~f:(fun p l ->
+                       Private_cache.read_range pc f p l;
+                       move p l))
+                 ~write_run:(fun addr words ~f:move ->
+                   Ivy.write_range_guard sys f ~node addr words
+                     ~f:(fun p l ->
+                       Private_cache.write_range pc f p l;
+                       move p l))
+             in
              let ctx =
                {
                  Parmacs.id = node;
                  nprocs;
-                 read =
-                   (fun addr ->
-                     Ivy.read_guard sys f ~node addr;
-                     Private_cache.read pc f addr;
-                     Memory.get mem addr);
-                 write =
-                   (fun addr v ->
-                     Ivy.write_guard sys f ~node addr;
-                     Private_cache.write pc f addr;
-                     Memory.set mem addr v);
+                 read;
+                 write;
+                 fcell;
+                 readf;
+                 writef;
+                 range;
                  lock = (fun l -> Ivy.acquire sys f ~node ~lock:l);
                  unlock = (fun l -> Ivy.release sys f ~node ~lock:l);
                  barrier = (fun b -> Ivy.barrier_arrive sys f ~node ~id:b);

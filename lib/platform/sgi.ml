@@ -23,12 +23,28 @@ let run_on_snoop ~platform_name ~clock_mhz ~config_of (app : Parmacs.app)
   for cpu = 0 to nprocs - 1 do
     ignore
       (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:0 (fun f ->
+           let fcell = ref 0.0 in
            let ctx =
              {
                Parmacs.id = cpu;
                nprocs;
                read = (fun addr -> Snoop.read machine f ~cpu addr);
                write = (fun addr v -> Snoop.write machine f ~cpu addr v);
+               fcell;
+               readf =
+                 (fun addr ->
+                   Snoop.read_timing machine f ~cpu addr;
+                   fcell := Memory.get_float mem addr);
+               writef =
+                 (fun addr ->
+                   Snoop.write_timing machine f ~cpu addr;
+                   Memory.set_float mem addr !fcell);
+               range =
+                 Parmacs.range_ops_of_runs ~mem
+                   ~read_run:(fun addr words ~f:move ->
+                     Snoop.read_range machine f ~cpu addr words ~f:move)
+                   ~write_run:(fun addr words ~f:move ->
+                     Snoop.write_range machine f ~cpu addr words ~f:move);
                lock = (fun l -> Hw_sync.lock sync f ~cpu l);
                unlock = (fun l -> Hw_sync.unlock sync f ~cpu l);
                barrier = (fun b -> Hw_sync.barrier sync f ~cpu b);

@@ -39,9 +39,7 @@ let name f = f.fname
 let id f = f.fid
 let engine f = f.eng
 
-let advance f n =
-  assert (n >= 0);
-  f.fclock <- f.fclock + n
+let[@inline] advance f n = f.fclock <- f.fclock + n
 
 let set_clock f time = if time > f.fclock then f.fclock <- time
 

@@ -8,18 +8,21 @@ let make ~page ~twin ~current ~base ~words =
   let runs = ref [] in
   let i = ref 0 in
   while !i < words do
-    if Memory.get current (base + !i) <> twin.(!i) then begin
-      let start = !i in
-      while
-        !i < words && Memory.get current (base + !i) <> twin.(!i)
-      do
-        incr i
-      done;
-      let len = !i - start in
-      let data = Array.init len (fun k -> Memory.get current (base + start + k)) in
-      runs := { offset = start; words = data } :: !runs
+    let d = Memory.first_diff current (base + !i) twin !i (words - !i) in
+    if d < 0 then i := words
+    else begin
+      let start = !i + d in
+      let m =
+        Memory.first_match current (base + start) twin start (words - start)
+      in
+      let stop = if m < 0 then words else start + m in
+      let len = stop - start in
+      let data =
+        Array.init len (fun k -> Memory.get current (base + start + k))
+      in
+      runs := { offset = start; words = data } :: !runs;
+      i := stop
     end
-    else incr i
   done;
   { page; runs = List.rev !runs }
 
@@ -32,7 +35,7 @@ let apply t mem ~base =
 let apply_to_twin t twin =
   List.iter
     (fun { offset; words } ->
-      Array.iteri (fun k v -> twin.(offset + k) <- v) words)
+      Array.iteri (fun k v -> Memory.set twin (offset + k) v) words)
     t.runs
 
 let is_empty t = t.runs = []

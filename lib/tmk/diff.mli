@@ -15,7 +15,7 @@ type t = { page : int; runs : run list }
     differing words. *)
 val make :
   page:int ->
-  twin:int64 array ->
+  twin:Shm_memsys.Memory.t ->
   current:Shm_memsys.Memory.t ->
   base:int ->
   words:int ->
@@ -24,8 +24,8 @@ val make :
 (** [apply t mem ~base] writes the runs into page at [base]. *)
 val apply : t -> Shm_memsys.Memory.t -> base:int -> unit
 
-(** [apply_to_twin t twin] writes the runs into a raw twin array. *)
-val apply_to_twin : t -> int64 array -> unit
+(** [apply_to_twin t twin] writes the runs into a twin page image. *)
+val apply_to_twin : t -> Shm_memsys.Memory.t -> unit
 
 val is_empty : t -> bool
 

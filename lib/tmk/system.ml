@@ -9,7 +9,7 @@ module Counters = Shm_stats.Counters
 
 type page_state = {
   mutable valid : bool;
-  mutable twin : int64 array option;  (** present iff writable *)
+  mutable twin : Memory.t option;  (** present iff writable *)
   applied : Vc.t;  (** per-creator highest interval reflected in our copy *)
   mutable pending : (int * int) list;  (** (creator, seqno) notices awaiting diffs *)
 }
@@ -31,6 +31,11 @@ type node = {
   mutable seq : int;  (** own interval counter, = vc.(id) *)
   store : Record.Store.t;
   pages : page_state array;
+  rights : Bytes.t;
+      (** software TLB: one byte per page, ['\000'] = guard must fault,
+          ['\001'] = readable, ['\002'] = readable and writable (twin in
+          place, or single node).  Derived from [pages]; consulted by the
+          platforms' fast paths to skip the guard call entirely. *)
   mutable dirty : int list;  (** pages dirtied in the open interval *)
   own_diffs : (int * int, Diff.t) Hashtbl.t;  (** (page, seqno) -> diff *)
   locks : lock_state array;
@@ -50,6 +55,7 @@ type t = {
   cfg : Config.t;
   nodes : node array;
   barriers : barrier_state array;
+  page_shift : int;  (** log2 page_words, or -1 if not a power of two *)
   mutable page_hook : node:int -> page:int -> unit;
 }
 
@@ -59,7 +65,22 @@ let memory t ~node = t.nodes.(node).mem
 
 let set_page_hook t f = t.page_hook <- f
 
-let page_of t addr = addr / t.cfg.page_words
+let page_of t addr =
+  if t.page_shift >= 0 then addr lsr t.page_shift
+  else addr / t.cfg.page_words
+
+let page_shift t = t.page_shift
+
+let access_rights t ~node = t.nodes.(node).rights
+
+(* Recompute the TLB byte for one page from its protocol state.  Must be
+   called after every transition of [valid] or [twin]. *)
+let update_rights t nd page =
+  let st = nd.pages.(page) in
+  Bytes.unsafe_set nd.rights page
+    (if not st.valid then '\000'
+     else if st.twin <> None || t.cfg.n_nodes = 1 then '\002'
+     else '\001')
 
 let overhead t = (Fabric.config t.fabric).Fabric.overhead
 
@@ -89,6 +110,9 @@ let create eng counters fabric cfg ~memories =
         Array.init (Config.n_pages cfg) (fun _ ->
             { valid = true; twin = None; applied = Vc.create ~nodes:n;
               pending = [] });
+      rights =
+        (* Pages start valid everywhere; a single node never twins. *)
+        Bytes.make (Config.n_pages cfg) (if n = 1 then '\002' else '\001');
       dirty = [];
       own_diffs = Hashtbl.create 256;
       locks = Array.init cfg.n_locks (fun l -> mk_lock l id);
@@ -99,6 +123,13 @@ let create eng counters fabric cfg ~memories =
       steal = ref 0;
     }
   in
+  let pw = cfg.page_words in
+  let page_shift =
+    if pw > 0 && pw land (pw - 1) = 0 then
+      let rec go s n = if n = 1 then s else go (s + 1) (n lsr 1) in
+      go 0 pw
+    else -1
+  in
   {
     eng;
     counters;
@@ -106,6 +137,7 @@ let create eng counters fabric cfg ~memories =
     cfg;
     nodes = Array.init n mk_node;
     barriers = Array.init cfg.n_barriers (fun _ -> { arrivals = [] });
+    page_shift;
     page_hook = (fun ~node:_ ~page:_ -> ());
   }
 
@@ -183,6 +215,7 @@ let register_records t nd records =
               st.pending <- (r.creator, r.seqno) :: st.pending;
               if st.valid then begin
                 st.valid <- false;
+                update_rights t nd p;
                 Counters.incr t.counters "tmk.invalidations"
               end
             end)
@@ -238,6 +271,7 @@ let close_interval t fiber nd =
           Hashtbl.replace nd.own_diffs (p, nd.seq) diff;
           Counters.incr t.counters "tmk.diffs_created";
           st.twin <- None;
+          update_rights t nd p;
           st.applied.(nd.id) <- nd.seq)
         pages;
       nd.dirty <- [];
@@ -396,6 +430,9 @@ let fault t fiber nd page =
     st.pending <- List.filter (fun (c, s) -> s > st.applied.(c)) st.pending;
     if st.pending = [] then begin
       st.valid <- true;
+      (* Contents are final, then the TLB byte, then the hook: a hook that
+         rebuilds derived state (platform caches) must observe both. *)
+      update_rights t nd page;
       t.page_hook ~node:nd.id ~page
     end;
     Hashtbl.remove nd.inflight page;
@@ -414,13 +451,7 @@ let read_guard t fiber ~node addr =
     fault t fiber nd page
   done
 
-let write_guard t fiber ~node addr =
-  let nd = t.nodes.(node) in
-  let page = page_of t addr in
-  let st = nd.pages.(page) in
-  while not st.valid do
-    fault t fiber nd page
-  done;
+let ensure_twin t fiber nd page (st : page_state) =
   match st.twin with
   | Some _ -> ()
   | None when t.cfg.n_nodes = 1 ->
@@ -433,18 +464,72 @@ let write_guard t fiber ~node addr =
          the twin (or even written through it) meanwhile. *)
       if st.twin = None then begin
         let base = page * t.cfg.page_words in
-        let twin =
-          Array.init t.cfg.page_words (fun k -> Memory.get nd.mem (base + k))
-        in
+        let twin = Memory.create ~words:t.cfg.page_words in
+        Memory.blit ~src:nd.mem ~src_pos:base ~dst:twin ~dst_pos:0
+          ~len:t.cfg.page_words;
         if page = debug_page then
           Printf.eprintf "node %d twins page %d (c4=%d, seq=%d)\n" nd.id page
             (Memory.get_int nd.mem (base + 4)) nd.seq;
         Engine.advance fiber
           ((overhead t).handler + (t.cfg.twin_copy_per_word * t.cfg.page_words));
         st.twin <- Some twin;
+        update_rights t nd page;
         nd.dirty <- page :: nd.dirty;
         Counters.incr t.counters "tmk.twins"
       end
+
+let write_guard t fiber ~node addr =
+  let nd = t.nodes.(node) in
+  let page = page_of t addr in
+  let st = nd.pages.(page) in
+  while not st.valid do
+    fault t fiber nd page
+  done;
+  ensure_twin t fiber nd page st
+
+(* Range guards: guard each page overlapping [addr, addr+words) exactly
+   once, in address order, handing each in-page run to [f run_addr
+   run_words] as soon as that page's guard completes.  Interleaving data
+   movement page by page (rather than guarding the whole range up front)
+   is what makes the range observably identical to the per-word loop: a
+   fault's yield can let the handler rewrite {e later} pages (eager
+   updates), and those must be re-examined when reached, exactly as the
+   per-word sequence would.  Within one page run neither the guard's
+   valid-check nor [f] may yield, so no transition can interpose — the
+   same argument that makes the per-word guard/access pair atomic. *)
+
+let read_range_guard t fiber ~node addr words ~f =
+  let nd = t.nodes.(node) in
+  let pw = t.cfg.page_words in
+  let stop = addr + words in
+  let a = ref addr in
+  while !a < stop do
+    let page = page_of t !a in
+    let run = min ((page + 1) * pw) stop - !a in
+    let st = nd.pages.(page) in
+    while not st.valid do
+      fault t fiber nd page
+    done;
+    f !a run;
+    a := !a + run
+  done
+
+let write_range_guard t fiber ~node addr words ~f =
+  let nd = t.nodes.(node) in
+  let pw = t.cfg.page_words in
+  let stop = addr + words in
+  let a = ref addr in
+  while !a < stop do
+    let page = page_of t !a in
+    let run = min ((page + 1) * pw) stop - !a in
+    let st = nd.pages.(page) in
+    while not st.valid do
+      fault t fiber nd page
+    done;
+    ensure_twin t fiber nd page st;
+    f !a run;
+    a := !a + run
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Locks                                                               *)
@@ -799,6 +884,20 @@ let check_invariants t =
                        "node %d: page %d valid with pending (%d,%d)" nd.id p c
                        s))
               st.pending;
+          (* The TLB byte is a pure function of the page state. *)
+          let expect =
+            if not st.valid then '\000'
+            else if st.twin <> None || t.cfg.n_nodes = 1 then '\002'
+            else '\001'
+          in
+          if Bytes.get nd.rights p <> expect then
+            failwith
+              (Printf.sprintf
+                 "node %d: page %d rights byte %d, expected %d (valid=%b \
+                  twin=%b)"
+                 nd.id p
+                 (Char.code (Bytes.get nd.rights p))
+                 (Char.code expect) st.valid (st.twin <> None));
           (* Twins exist exactly for pages dirty in the open interval. *)
           let dirty = List.mem p nd.dirty in
           match st.twin with

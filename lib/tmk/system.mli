@@ -43,11 +43,39 @@ val start : t -> unit
 
 val page_of : t -> int -> int
 
+(** [page_shift t] is [log2 page_words], or [-1] when [page_words] is not
+    a power of two (then the TLB fast path must not be used). *)
+val page_shift : t -> int
+
+(** [access_rights t ~node] is the node's software TLB: one byte per page,
+    ['\000'] = a guard call must run (fault), ['\001'] = reads may skip the
+    guard, ['\002'] = reads and writes may skip it (twin already in place,
+    or single-node run).  Maintained by the protocol on every
+    valid/twin transition; callers must treat it as read-only.  A platform
+    hot path indexes it with [addr lsr page_shift] and falls back to
+    {!read_guard}/{!write_guard} on a miss. *)
+val access_rights : t -> node:int -> Bytes.t
+
 (** {2 Called from processor fibers} *)
 
 val read_guard : t -> Shm_sim.Engine.fiber -> node:int -> int -> unit
 
 val write_guard : t -> Shm_sim.Engine.fiber -> node:int -> int -> unit
+
+(** [read_range_guard t fiber ~node addr words ~f] guards every page
+    overlapping the range once, in address order, calling [f run_addr
+    run_words] for each in-page run immediately after that page's guard.
+    Observably identical to guarding word by word: faults, cycles and
+    messages happen at the same points.  [f] must not yield. *)
+val read_range_guard :
+  t -> Shm_sim.Engine.fiber -> node:int -> int -> int ->
+  f:(int -> int -> unit) -> unit
+
+(** Like {!read_range_guard} but also establishes the twin (one per page
+    per interval) before handing the run to [f]. *)
+val write_range_guard :
+  t -> Shm_sim.Engine.fiber -> node:int -> int -> int ->
+  f:(int -> int -> unit) -> unit
 
 val acquire : t -> Shm_sim.Engine.fiber -> node:int -> lock:int -> unit
 

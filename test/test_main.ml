@@ -15,5 +15,6 @@ let () =
       ("apps-extra", Test_apps_extra.suite);
       ("patterns", Test_patterns.suite);
       ("fuzz", Test_fuzz.suite);
+      ("ranges", Test_ranges.suite);
       ("platform", Test_platform.suite);
     ]

@@ -48,7 +48,7 @@ let prop_diff_identical_is_empty =
   QCheck.Test.make ~count:100 ~name:"diff of identical page is empty"
     small_page
     (fun a ->
-      let twin = Array.map Int64.of_int a in
+      let twin = mem_of_array a in
       let mem = mem_of_array a in
       Diff.is_empty (Diff.make ~page:0 ~twin ~current:mem ~base:0 ~words:64))
 
@@ -56,7 +56,7 @@ let prop_diff_apply_idempotent =
   QCheck.Test.make ~count:100 ~name:"diff application is idempotent"
     QCheck.(pair small_page small_page)
     (fun (before, after) ->
-      let twin = Array.map Int64.of_int before in
+      let twin = mem_of_array before in
       let mem = mem_of_array after in
       let d = Diff.make ~page:0 ~twin ~current:mem ~base:0 ~words:64 in
       let m1 = mem_of_array before in
@@ -70,14 +70,14 @@ let prop_diff_twin_apply_matches =
   QCheck.Test.make ~count:100 ~name:"apply_to_twin matches apply"
     QCheck.(pair small_page small_page)
     (fun (before, after) ->
-      let twin = Array.map Int64.of_int before in
+      let twin = mem_of_array before in
       let mem = mem_of_array after in
       let d = Diff.make ~page:0 ~twin ~current:mem ~base:0 ~words:64 in
-      let tw = Array.map Int64.of_int before in
+      let tw = mem_of_array before in
       Diff.apply_to_twin d tw;
       let m = mem_of_array before in
       Diff.apply d m ~base:0;
-      Array.for_all2 (fun x i -> x = i) tw (Array.init 64 (Memory.get m)))
+      Memory.equal_range tw m ~pos:0 ~len:64)
 
 let prop_diff_words_bound =
   QCheck.Test.make ~count:100 ~name:"diff carries at most the changed words"
@@ -85,7 +85,7 @@ let prop_diff_words_bound =
     (fun (before, after) ->
       let changed = ref 0 in
       Array.iteri (fun i v -> if v <> after.(i) then incr changed) before;
-      let twin = Array.map Int64.of_int before in
+      let twin = mem_of_array before in
       let mem = mem_of_array after in
       let d = Diff.make ~page:0 ~twin ~current:mem ~base:0 ~words:64 in
       Diff.words d = !changed && Diff.bytes d >= 16)

@@ -264,16 +264,19 @@ let prop_diff_roundtrip =
     QCheck.(small_list (pair small_nat (int_bound 1000)))
     (fun writes ->
       let words = 128 in
-      let twin = Array.init words (fun i -> Int64.of_int i) in
+      let twin = Memory.create ~words in
+      for i = 0 to words - 1 do
+        Memory.set_int twin i i
+      done;
       let mem = Memory.create ~words in
-      Array.iteri (fun i v -> Memory.set mem i v) twin;
+      Memory.copy_all ~src:twin ~dst:mem;
       List.iter
         (fun (off, v) -> Memory.set_int mem (off mod words) (v + 2000))
         writes;
       let diff = Diff.make ~page:0 ~twin ~current:mem ~base:0 ~words in
       (* Apply onto a fresh copy of the twin. *)
       let mem2 = Memory.create ~words in
-      Array.iteri (fun i v -> Memory.set mem2 i v) twin;
+      Memory.copy_all ~src:twin ~dst:mem2;
       Diff.apply diff mem2 ~base:0;
       Memory.equal_range mem mem2 ~pos:0 ~len:words)
 
