@@ -8,7 +8,16 @@
      dune exec bench/main.exe -- --list       -- list experiment ids
      dune exec bench/main.exe -- --only f3,t1 -- run a subset
      dune exec bench/main.exe -- --scale quick|default|paper
-     dune exec bench/main.exe -- --skip-micro *)
+     dune exec bench/main.exe -- --jobs 4     -- run simulations on 4 domains
+     dune exec bench/main.exe -- --json PATH  -- results file (BENCH_access.json)
+     dune exec bench/main.exe -- --skip-micro
+
+   Independent simulation runs execute on a pool of OCaml 5 domains
+   (default: Domain.recommended_domain_count () - 1; override with
+   --jobs N or SHMCS_JOBS).  Each experiment declares its run set up
+   front, the pool executes runs in parallel, and tables/figures render
+   from the completed reports in the original deterministic order, so
+   every table, figure and run statistic is identical at any --jobs. *)
 
 module Registry = Shm_apps.Registry
 module Sor = Shm_apps.Sor
@@ -23,6 +32,9 @@ module Ah = Shm_platform.Ah
 module Overhead = Shm_net.Overhead
 module Table = Shm_stats.Table
 module Parmacs = Shm_parmacs.Parmacs
+module Pool = Shm_runner.Pool
+module Future = Shm_runner.Future
+module Run_cache = Shm_runner.Run_cache
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                       *)
@@ -31,33 +43,63 @@ let scale = ref Registry.Default
 let only : string list ref = ref []
 let skip_micro = ref false
 let list_only = ref false
+let jobs_arg = ref 0 (* 0 = auto: SHMCS_JOBS or recommended_domain_count - 1 *)
+let json_path = ref "BENCH_access.json"
 
 (* ------------------------------------------------------------------ *)
-(* Memoized runs: several figures share the same (app, platform, n)    *)
+(* Scheduled runs: several figures share the same (app, platform, n),   *)
+(* so runs are memoized as futures — a shared run executes exactly once *)
+(* on the domain pool and every consumer blocks on the same result.     *)
 
 type run_key = { app_key : string; platform_key : string; n : int }
 
-let run_cache : (run_key, Report.t) Hashtbl.t = Hashtbl.create 64
+(* What a worker domain hands back: the report plus the run's own wall
+   time and allocation, measured inside the worker. *)
+type timed = { report : Report.t; wall : float; alloc_gw : float }
 
-(* Fresh (non-memoized) runs, in execution order, with their wall time. *)
-let run_log : (run_key * float * Report.t) list ref = ref []
+let the_cache : (run_key, timed) Run_cache.t option ref = ref None
+
+let cache () =
+  match !the_cache with
+  | Some c -> c
+  | None -> invalid_arg "run cache used before the pool was created"
+
+let execute key (platform : Platform.t) app () =
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.minor_words () in
+  let r = platform.Platform.run app ~nprocs:key.n in
+  {
+    report = r;
+    wall = Unix.gettimeofday () -. t0;
+    alloc_gw = (Gc.minor_words () -. a0) /. 1e9;
+  }
+
+(* Submit phase: declare a run so the pool can start it early.  Missing a
+   declaration is only a lost parallelism opportunity — [timed_run]
+   submits on demand — and a declared run that no figure consumes is
+   excluded from BENCH_access.json, so reports stay identical at any
+   --jobs. *)
+let declare ~app_key ~(platform : Platform.t) ~platform_key app ~n =
+  let key = { app_key; platform_key; n } in
+  ignore (Run_cache.find_or_submit (cache ()) key (execute key platform app))
+
+(* Runs whose results were actually consumed by a table or figure, i.e.
+   the progress line was flushed.  Announcement happens on the main
+   domain at first await, so the order is the render order: the same at
+   any --jobs, and exactly the execution order of sequential mode. *)
+let announced : (run_key, unit) Hashtbl.t = Hashtbl.create 64
 
 let timed_run ~app_key ~(platform : Platform.t) ~platform_key app ~n =
   let key = { app_key; platform_key; n } in
-  match Hashtbl.find_opt run_cache key with
-  | Some r -> r
-  | None ->
-      let t0 = Unix.gettimeofday () in
-      let a0 = Gc.minor_words () in
-      let r = platform.Platform.run app ~nprocs:n in
-      let wall = Unix.gettimeofday () -. t0 in
-      Printf.printf
-        "    [ran %s on %s, %d procs: %.3f sim s, %.1f wall s, %.2fG alloc]\n%!"
-        app_key platform_key n (Report.seconds r) wall
-        ((Gc.minor_words () -. a0) /. 1e9);
-      Hashtbl.replace run_cache key r;
-      run_log := (key, wall, r) :: !run_log;
-      r
+  let fut = Run_cache.find_or_submit (cache ()) key (execute key platform app) in
+  let tr = Future.await fut in
+  if not (Hashtbl.mem announced key) then begin
+    Hashtbl.add announced key ();
+    Printf.printf
+      "    [ran %s on %s, %d procs: %.3f sim s, %.1f wall s, %.2fG alloc]\n%!"
+      app_key platform_key n (Report.seconds tr.report) tr.wall tr.alloc_gw
+  end;
+  tr.report
 
 (* ------------------------------------------------------------------ *)
 (* Application instances                                               *)
@@ -669,72 +711,241 @@ let micro () =
   Table.print table
 
 (* ------------------------------------------------------------------ *)
+(* Submit phase: one plan per experiment, declaring exactly the runs   *)
+(* its renderer will consume, so the pool can execute runs from the    *)
+(* whole selected suite in parallel before any rendering starts.       *)
+
+let sec2_plan_apps = [ "ilink-clp"; "sor"; "tsp"; "water"; "m-water" ]
+
+let plan_sec2 (app_key, app) =
+  declare ~app_key ~platform:(dec ()) ~platform_key:"dec" app ~n:1;
+  let tmk_p = tmk () and sgi_p = sgi () in
+  declare ~app_key ~platform:sgi_p ~platform_key:"sgi" app ~n:1;
+  List.iter
+    (fun n ->
+      declare ~app_key ~platform:tmk_p ~platform_key:"treadmarks" app ~n;
+      declare ~app_key ~platform:sgi_p ~platform_key:"sgi" app ~n)
+    procs_sec2
+
+let plan_sec3 (app_key, app) =
+  let archs =
+    [ ("AH", ah_machine ()); ("HS", hs_machine ()); ("AS", as_machine ()) ]
+  in
+  List.iter
+    (fun (k, p) -> declare ~app_key ~platform:p ~platform_key:k app ~n:1)
+    archs;
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (k, p) -> declare ~app_key ~platform:p ~platform_key:k app ~n)
+        archs)
+    (List.tl procs_sec3)
+
+let plan_overhead ~tag ~make_platform (app_key, app) =
+  List.iter
+    (fun (f, w) ->
+      let key = Printf.sprintf "%s-%s-ov%d-%d" tag app_key f w in
+      let p = make_platform (Overhead.sweep ~fixed:f ~per_word:w) in
+      declare ~app_key ~platform:p ~platform_key:key app ~n:1;
+      List.iter
+        (fun n -> declare ~app_key ~platform:p ~platform_key:key app ~n)
+        (List.tl procs_sec3))
+    [ (5000, 10); (500, 10); (100, 10); (100, 1) ]
+
+let plan_table1 () =
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      declare ~app_key:name ~platform:(dec ()) ~platform_key:"dec" app ~n:1;
+      declare ~app_key:name ~platform:(tmk ()) ~platform_key:"treadmarks" app
+        ~n:1;
+      declare ~app_key:name ~platform:(sgi ()) ~platform_key:"sgi" app ~n:1)
+    sec2_apps
+
+let plan_table2 () =
+  List.iter
+    (fun name ->
+      declare ~app_key:name ~platform:(tmk ()) ~platform_key:"treadmarks"
+        (Registry.app ~scale:!scale name)
+        ~n:8)
+    sec2_apps
+
+let plan_tsp_eager () =
+  let app_key, app = sec2_app "tsp" in
+  declare ~app_key ~platform:(dec ()) ~platform_key:"dec" app ~n:1;
+  declare ~app_key ~platform:(sgi ()) ~platform_key:"sgi" app ~n:1;
+  declare ~app_key ~platform:(tmk ()) ~platform_key:"treadmarks" app ~n:8;
+  declare ~app_key ~platform:(tmk_eager ()) ~platform_key:"treadmarks-eager"
+    app ~n:8;
+  declare ~app_key ~platform:(sgi ()) ~platform_key:"sgi" app ~n:8
+
+let plan_kernel_level () =
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      declare ~app_key:name ~platform:(dec ()) ~platform_key:"dec" app ~n:1;
+      declare ~app_key:name ~platform:(sgi ()) ~platform_key:"sgi" app ~n:1;
+      declare ~app_key:name ~platform:(tmk ()) ~platform_key:"treadmarks" app
+        ~n:8;
+      declare ~app_key:name ~platform:(tmk_kernel ())
+        ~platform_key:"treadmarks-kernel" app ~n:8;
+      declare ~app_key:name ~platform:(sgi ()) ~platform_key:"sgi" app ~n:8)
+    sec2_plan_apps
+
+let plan_sim64 () =
+  List.iter
+    (fun (app_key, app) ->
+      declare ~app_key ~platform:(as_machine ()) ~platform_key:"AS" app ~n:64;
+      declare ~app_key ~platform:(hs_machine ()) ~platform_key:"HS" app ~n:64)
+    [ sor_sim (); tsp_sim (); mwater_sim () ]
+
+let plan_lrc_vs_ivy () =
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      declare ~app_key:name ~platform:(dec ()) ~platform_key:"dec" app ~n:1;
+      declare ~app_key:name ~platform:(tmk ()) ~platform_key:"treadmarks" app
+        ~n:8;
+      declare ~app_key:name ~platform:(ivy ()) ~platform_key:"ivy" app ~n:8)
+    [ "sor"; "tsp"; "water"; "m-water"; "ilink-clp" ]
+
+let plan_lrc_vs_erc () =
+  let erc () =
+    Dsm_cluster.dec ~notice_policy:Shm_tmk.Config.Eager_invalidate
+      ~level:Dsm_cluster.User ()
+  in
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      declare ~app_key:name ~platform:(dec ()) ~platform_key:"dec" app ~n:1;
+      declare ~app_key:name ~platform:(tmk ()) ~platform_key:"treadmarks" app
+        ~n:8;
+      declare ~app_key:name ~platform:(erc ()) ~platform_key:"treadmarks-erc"
+        app ~n:8)
+    [ "sor"; "tsp"; "water"; "m-water"; "ilink-clp" ]
+
+let plan_sgi_bus () =
+  let fast = Shm_platform.Sgi.make_fast () in
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      declare ~app_key:name ~platform:(sgi ()) ~platform_key:"sgi" app ~n:1;
+      declare ~app_key:name ~platform:(sgi ()) ~platform_key:"sgi" app ~n:8;
+      declare ~app_key:name ~platform:fast ~platform_key:"sgi-fast" app ~n:1;
+      declare ~app_key:name ~platform:fast ~platform_key:"sgi-fast" app ~n:8;
+      declare ~app_key:name ~platform:(dec ()) ~platform_key:"dec" app ~n:1;
+      declare ~app_key:name ~platform:(tmk ()) ~platform_key:"treadmarks" app
+        ~n:8)
+    [ "sor"; "sor-square"; "m-water" ]
+
+let plan_sharing_patterns () =
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      List.iter
+        (fun (pf, pk) ->
+          declare ~app_key:name ~platform:(pf ()) ~platform_key:pk app ~n:1;
+          declare ~app_key:name ~platform:(pf ()) ~platform_key:pk app ~n:8)
+        [ (tmk, "treadmarks"); (ivy, "ivy"); (sgi, "sgi") ])
+    [ "migratory"; "producer-consumer"; "false-sharing"; "read-mostly" ]
+
+(* ------------------------------------------------------------------ *)
 (* Experiment registry                                                 *)
 
-type experiment = { id : string; title : string; run : unit -> unit }
+type experiment = {
+  id : string;
+  title : string;
+  plan : unit -> unit; (* submit phase: declare the run set *)
+  run : unit -> unit; (* render phase: await results, print tables *)
+}
+
+let no_plan () = ()
 
 let experiments =
   [
-    { id = "t1"; title = "Table 1: single-processor times"; run = table1 };
+    { id = "t1"; title = "Table 1: single-processor times"; plan = plan_table1;
+      run = table1 };
     { id = "t2"; title = "Table 2: 8-processor TreadMarks statistics";
-      run = table2 };
+      plan = plan_table2; run = table2 };
     { id = "f1"; title = "Figure 1: ILINK-CLP";
+      plan = (fun () -> plan_sec2 (sec2_app "ilink-clp"));
       run =
         (fun () ->
           sec2_figure ~title:"Figure 1: ILINK CLP speedups"
             (sec2_app "ilink-clp")) };
     { id = "f2"; title = "Figure 2: ILINK-BAD";
+      plan = (fun () -> plan_sec2 (sec2_app "ilink-bad"));
       run =
         (fun () ->
           sec2_figure ~title:"Figure 2: ILINK BAD speedups"
             (sec2_app "ilink-bad")) };
     { id = "f3"; title = "Figure 3: SOR (large)";
+      plan = (fun () -> plan_sec2 (sec2_app "sor"));
       run =
         (fun () ->
           sec2_figure ~title:"Figure 3: SOR 2000x1000-class speedups"
             (sec2_app "sor")) };
     { id = "f4"; title = "Figure 4: SOR (square)";
+      plan = (fun () -> plan_sec2 (sec2_app "sor-square"));
       run =
         (fun () ->
           sec2_figure ~title:"Figure 4: SOR 1000x1000-class speedups"
             (sec2_app "sor-square")) };
     { id = "f5"; title = "Figure 5: TSP (smaller input)";
+      plan = (fun () -> plan_sec2 (sec2_app "tsp-small"));
       run =
         (fun () ->
           sec2_figure ~title:"Figure 5: TSP 18-city-class speedups"
             (sec2_app "tsp-small")) };
     { id = "f6"; title = "Figure 6: TSP (larger input)";
+      plan = (fun () -> plan_sec2 (sec2_app "tsp"));
       run =
         (fun () ->
           sec2_figure ~title:"Figure 6: TSP 19-city-class speedups"
             (sec2_app "tsp")) };
     { id = "f7"; title = "Figure 7: Water";
+      plan = (fun () -> plan_sec2 (sec2_app "water"));
       run =
         (fun () ->
           sec2_figure ~title:"Figure 7: Water speedups" (sec2_app "water")) };
     { id = "f8"; title = "Figure 8: M-Water";
+      plan = (fun () -> plan_sec2 (sec2_app "m-water"));
       run =
         (fun () ->
           sec2_figure ~title:"Figure 8: M-Water speedups" (sec2_app "m-water")) };
-    { id = "x1"; title = "TSP eager vs lazy release"; run = tsp_eager };
-    { id = "x2"; title = "user- vs kernel-level TreadMarks"; run = kernel_level };
-    { id = "x3"; title = "SOR with all points changing"; run = sor_touch_all };
+    { id = "x1"; title = "TSP eager vs lazy release"; plan = plan_tsp_eager;
+      run = tsp_eager };
+    { id = "x2"; title = "user- vs kernel-level TreadMarks";
+      plan = plan_kernel_level; run = kernel_level };
+    { id = "x3"; title = "SOR with all points changing";
+      plan = (fun () -> plan_sec2 (sec2_app "sor-touchall"));
+      run = sor_touch_all };
     { id = "f9"; title = "Figure 9: SOR on AS/AH/HS";
+      plan = (fun () -> plan_sec3 (sor_sim ()));
       run =
         (fun () ->
           sec3_figure ~title:"Figure 9: SOR speedups, AS/AH/HS" (sor_sim ())) };
     { id = "f10"; title = "Figure 10: TSP on AS/AH/HS";
+      plan = (fun () -> plan_sec3 (tsp_sim ()));
       run =
         (fun () ->
           sec3_figure ~title:"Figure 10: TSP speedups, AS/AH/HS" (tsp_sim ())) };
     { id = "f11"; title = "Figure 11: M-Water on AS/AH/HS";
+      plan = (fun () -> plan_sec3 (mwater_sim ()));
       run =
         (fun () ->
           sec3_figure ~title:"Figure 11: M-Water speedups, AS/AH/HS"
             (mwater_sim ())) };
-    { id = "f12"; title = "Figure 12: message totals"; run = messages_figure };
-    { id = "f13"; title = "Figure 13: data totals"; run = data_figure };
+    { id = "f12"; title = "Figure 12: message totals"; plan = plan_sim64;
+      run = messages_figure };
+    { id = "f13"; title = "Figure 13: data totals"; plan = plan_sim64;
+      run = data_figure };
     { id = "f14"; title = "Figure 14: AS SOR overhead sweep";
+      plan =
+        (fun () ->
+          plan_overhead ~tag:"AS"
+            ~make_platform:(fun ov -> as_machine ~overhead:ov ())
+            (sor_sim ()));
       run =
         (fun () ->
           overhead_figure
@@ -745,6 +956,11 @@ let experiments =
             ~make_platform:(fun ov -> as_machine ~overhead:ov ())
             (sor_sim ())) };
     { id = "f15"; title = "Figure 15: AS M-Water overhead sweep";
+      plan =
+        (fun () ->
+          plan_overhead ~tag:"AS"
+            ~make_platform:(fun ov -> as_machine ~overhead:ov ())
+            (mwater_sim ()));
       run =
         (fun () ->
           overhead_figure
@@ -755,6 +971,11 @@ let experiments =
             ~make_platform:(fun ov -> as_machine ~overhead:ov ())
             (mwater_sim ())) };
     { id = "f16"; title = "Figure 16: HS M-Water overhead sweep";
+      plan =
+        (fun () ->
+          plan_overhead ~tag:"HS"
+            ~make_platform:(fun ov -> hs_machine ~overhead:ov ())
+            (mwater_sim ()));
       run =
         (fun () ->
           overhead_figure
@@ -764,12 +985,16 @@ let experiments =
             ~tag:"HS"
             ~make_platform:(fun ov -> hs_machine ~overhead:ov ())
             (mwater_sim ())) };
-    { id = "ab1"; title = "Ablation: LRC vs IVY page DSM"; run = lrc_vs_ivy };
+    { id = "ab1"; title = "Ablation: LRC vs IVY page DSM";
+      plan = plan_lrc_vs_ivy; run = lrc_vs_ivy };
     { id = "ab2"; title = "Ablation: lazy vs eager-invalidate RC";
-      run = lrc_vs_erc };
-    { id = "ab3"; title = "Ablation: SGI bus bandwidth"; run = sgi_bus_ablation };
-    { id = "ab4"; title = "Ablation: sharing patterns"; run = sharing_patterns };
-    { id = "micro"; title = "Bechamel micro-benchmarks"; run = micro };
+      plan = plan_lrc_vs_erc; run = lrc_vs_erc };
+    { id = "ab3"; title = "Ablation: SGI bus bandwidth"; plan = plan_sgi_bus;
+      run = sgi_bus_ablation };
+    { id = "ab4"; title = "Ablation: sharing patterns";
+      plan = plan_sharing_patterns; run = sharing_patterns };
+    { id = "micro"; title = "Bechamel micro-benchmarks"; plan = no_plan;
+      run = micro };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -798,13 +1023,32 @@ let json_float f =
     Printf.sprintf "%.1f" f
   else Printf.sprintf "%.17g" f
 
-let write_bench_json ~path ~total_wall ~experiment_walls =
+(* Schema bench_access/2: every executed experiment's wall time, the
+   domain-pool width, and a sequential-equivalent estimate (the sum of
+   per-run walls measured inside the workers — what the suite would cost
+   with --jobs 1).  Runs appear in submission order, which is the same at
+   any --jobs; only runs whose results a table or figure consumed are
+   recorded, so the run list is identical across pool widths too. *)
+let write_bench_json ~path ~jobs ~total_wall ~experiment_walls =
+  let runs =
+    List.filter_map
+      (fun (key, fut) ->
+        if Hashtbl.mem announced key then
+          Option.map (fun tr -> (key, tr)) (Future.peek fut)
+        else None)
+      (Run_cache.to_list (cache ()))
+  in
+  let sequential_equivalent =
+    List.fold_left (fun acc (_, tr) -> acc +. tr.wall) 0.0 runs
+  in
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"bench_access/1\",\n";
+  out "  \"schema\": \"bench_access/2\",\n";
   out "  \"scale\": %S,\n" (Registry.scale_name !scale);
+  out "  \"jobs\": %d,\n" jobs;
   out "  \"total_wall_s\": %s,\n" (json_float total_wall);
+  out "  \"sequential_equivalent_s\": %s,\n" (json_float sequential_equivalent);
   out "  \"experiments\": [\n";
   let n_exp = List.length experiment_walls in
   List.iteri
@@ -815,10 +1059,9 @@ let write_bench_json ~path ~total_wall ~experiment_walls =
     experiment_walls;
   out "  ],\n";
   out "  \"runs\": [\n";
-  let runs = List.rev !run_log in
   let n_runs = List.length runs in
   List.iteri
-    (fun i ({ app_key; platform_key; n }, wall, r) ->
+    (fun i ({ app_key; platform_key; n }, { report = r; wall; _ }) ->
       out
         "    {\"app\": \"%s\", \"platform\": \"%s\", \"nprocs\": %d, \
          \"wall_s\": %s, \"sim_cycles\": %d, \"sim_s\": %s, \
@@ -850,6 +1093,14 @@ let parse_args () =
     | "--only" :: ids :: rest ->
         only := String.split_on_char ',' (String.lowercase_ascii ids);
         go rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v >= 1 -> jobs_arg := v
+        | Some _ | None -> failwith (Printf.sprintf "bad --jobs %S" n));
+        go rest
+    | "--json" :: p :: rest ->
+        json_path := p;
+        go rest
     | "--scale" :: s :: rest ->
         (match Registry.scale_of_string s with
         | Some v -> scale := v
@@ -877,26 +1128,34 @@ let () =
       (match !only with [] -> true | ids -> List.mem e.id ids)
       && not (!skip_micro && e.id = "micro")
     in
+    let jobs = if !jobs_arg > 0 then !jobs_arg else Pool.default_jobs () in
+    let pool = Pool.create ~jobs in
+    the_cache := Some (Run_cache.create pool);
+    let selected = List.filter wanted experiments in
     let t0 = Unix.gettimeofday () in
-    Printf.printf "Reproduction harness: Cox et al., ISCA 1994 (scale = %s)\n\n"
-      (Registry.scale_name !scale);
+    Printf.printf
+      "Reproduction harness: Cox et al., ISCA 1994 (scale = %s, jobs = %d)\n\n"
+      (Registry.scale_name !scale) jobs;
+    (* Submit phase: declare every selected experiment's run set so the
+       pool can execute the whole suite's runs in parallel.  Rendering
+       below then awaits each run in the original deterministic order. *)
+    List.iter (fun e -> e.plan ()) selected;
     let experiment_walls = ref [] in
     List.iter
       (fun e ->
-        if wanted e then begin
-          Printf.printf "=== %s: %s ===\n%!" (String.uppercase_ascii e.id)
-            e.title;
-          let e0 = Unix.gettimeofday () in
-          e.run ();
-          experiment_walls :=
-            (e.id, Unix.gettimeofday () -. e0) :: !experiment_walls;
-          print_newline ()
-        end)
-      experiments;
+        Printf.printf "=== %s: %s ===\n%!" (String.uppercase_ascii e.id)
+          e.title;
+        let e0 = Unix.gettimeofday () in
+        e.run ();
+        experiment_walls :=
+          (e.id, Unix.gettimeofday () -. e0) :: !experiment_walls;
+        print_newline ())
+      selected;
     let total_wall = Unix.gettimeofday () -. t0 in
     Printf.printf "Total wall time: %.1f s\n" total_wall;
-    let path = "BENCH_access.json" in
-    write_bench_json ~path ~total_wall
+    Pool.shutdown pool;
+    let path = !json_path in
+    write_bench_json ~path ~jobs ~total_wall
       ~experiment_walls:(List.rev !experiment_walls);
     Printf.printf "Wrote %s\n" path
   end

@@ -14,4 +14,39 @@ fi
 dune build @check
 dune runtest
 
+# Isolation audit for the run scheduler: lib/ must hold no module-level
+# mutable state, or concurrent runs on separate domains could interfere
+# (see DESIGN.md §8).  Matches toplevel bindings that allocate a mutable
+# container or touch global randomness.
+if grep -nE '^let [a-zA-Z0-9_]+ *(:[^=]*)?= *(ref |Hashtbl\.create|Buffer\.create|Queue\.create|Bytes\.(create|make)|Array\.(make|create|init)|Atomic\.make|Weak\.create|Random\.)' \
+     lib/*/*.ml; then
+  echo "ci: module-level mutable state in lib/ breaks run isolation" >&2
+  exit 1
+fi
+
+# Bench smoke under a parallel pool: one quick-scale exhibit with
+# --jobs 2 must succeed and emit a valid bench_access/2 JSON report.
+smoke_json=$(mktemp)
+trap 'rm -f "$smoke_json"' EXIT
+dune exec bench/main.exe -- --scale quick --only f3 --jobs 2 \
+  --json "$smoke_json" >/dev/null
+if command -v jq >/dev/null 2>&1; then
+  schema=$(jq -r .schema "$smoke_json")
+  jobs=$(jq -r .jobs "$smoke_json")
+  nruns=$(jq '.runs | length' "$smoke_json")
+  if [ "$schema" != "bench_access/2" ] || [ "$jobs" != 2 ] || \
+     [ "$nruns" -lt 1 ]; then
+    echo "ci: bad bench JSON (schema=$schema jobs=$jobs runs=$nruns)" >&2
+    exit 1
+  fi
+else
+  python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "bench_access/2", d["schema"]
+assert d["jobs"] == 2, d["jobs"]
+assert len(d["runs"]) >= 1
+' "$smoke_json"
+fi
+
 echo "ci: OK"

@@ -3,13 +3,21 @@
    Examples:
      shmsim run -a sor -p treadmarks -n 8
      shmsim run -a m-water -p sgi -n 1,2,4,8 --scale quick
-     shmsim list *)
+     shmsim run -a sor -p treadmarks -n 1,2,4,8 --jobs 4
+     shmsim list
+
+   Multi-run invocations (several processor counts, or [compare]'s
+   platform sweep) execute their independent simulations on a pool of
+   OCaml 5 domains; results render in the requested order regardless of
+   completion order, so output is identical at any --jobs. *)
 
 module Registry = Shm_apps.Registry
 module Machines = Shm_platform.Machines
 module Platform = Shm_platform.Platform
 module Report = Shm_platform.Report
 module Table = Shm_stats.Table
+module Pool = Shm_runner.Pool
+module Future = Shm_runner.Future
 
 open Cmdliner
 
@@ -61,8 +69,24 @@ let scale_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print all raw counters.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Execute independent runs on $(docv) domains (default: \
+           $(b,SHMCS_JOBS) or the machine's recommended domain count minus \
+           one).  Output is identical at any $(docv).")
+
+(* [with_pool jobs f] resolves the pool width, runs [f pool], and joins
+   the workers even on error. *)
+let with_pool jobs f =
+  let jobs = if jobs > 0 then jobs else Pool.default_jobs () in
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
 let run_cmd =
-  let run app_name platform_name procs scale stats =
+  let run app_name platform_name procs scale stats jobs =
     let app = Registry.app ~scale app_name in
     let platform = Machines.get platform_name in
     let table =
@@ -72,31 +96,40 @@ let run_cmd =
              (Registry.scale_name scale))
         ~columns:[ "procs"; "seconds"; "speedup"; "msgs"; "kbytes"; "checksum" ]
     in
-    let base = ref None in
-    List.iter
-      (fun n ->
-        let r = platform.Platform.run app ~nprocs:n in
-        let b = match !base with None -> base := Some r; r | Some b -> b in
-        Table.add_row table
-          [
-            string_of_int n;
-            Table.cell_f ~digits:4 (Report.seconds r);
-            Table.cell_speedup (Report.speedup ~base:b r);
-            string_of_int (Report.get r "net.msgs.total");
-            string_of_int (Report.get r "net.bytes.total" / 1024);
-            Printf.sprintf "%.6g" r.Report.checksum;
-          ];
-        if stats then begin
-          Printf.printf "--- counters (procs=%d)\n" n;
-          List.iter
-            (fun (k, v) -> Printf.printf "%-32s %d\n" k v)
-            r.Report.counters
-        end)
-      procs;
+    with_pool jobs (fun pool ->
+        let futures =
+          List.map
+            (fun n ->
+              (n, Pool.submit pool (fun () -> platform.Platform.run app ~nprocs:n)))
+            procs
+        in
+        let base = ref None in
+        List.iter
+          (fun (n, fut) ->
+            let r = Future.await fut in
+            let b = match !base with None -> base := Some r; r | Some b -> b in
+            Table.add_row table
+              [
+                string_of_int n;
+                Table.cell_f ~digits:4 (Report.seconds r);
+                Table.cell_speedup (Report.speedup ~base:b r);
+                string_of_int (Report.get r "net.msgs.total");
+                string_of_int (Report.get r "net.bytes.total" / 1024);
+                Printf.sprintf "%.6g" r.Report.checksum;
+              ];
+            if stats then begin
+              Printf.printf "--- counters (procs=%d)\n" n;
+              List.iter
+                (fun (k, v) -> Printf.printf "%-32s %d\n" k v)
+                r.Report.counters
+            end)
+          futures);
     Table.print table
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an application on a platform model")
-    Term.(const run $ app_arg $ platform_arg $ procs_arg $ scale_arg $ stats_arg)
+    Term.(
+      const run $ app_arg $ platform_arg $ procs_arg $ scale_arg $ stats_arg
+      $ jobs_arg)
 
 let list_cmd =
   let list () =
@@ -110,7 +143,7 @@ let list_cmd =
     Term.(const list $ const ())
 
 let compare_cmd =
-  let compare app_name procs scale =
+  let compare app_name procs scale jobs =
     let scale_apps = Registry.app ~scale in
     let platforms =
       [ "treadmarks"; "treadmarks-kernel"; "treadmarks-erc"; "ivy"; "sgi" ]
@@ -122,32 +155,47 @@ let compare_cmd =
              app_name (Registry.scale_name scale))
         ~columns:[ "platform"; "procs"; "seconds"; "speedup"; "msgs"; "kbytes" ]
     in
-    List.iter
-      (fun pname ->
-        let p = Machines.get pname in
-        let base = p.Platform.run (scale_apps app_name) ~nprocs:1 in
+    with_pool jobs (fun pool ->
+        (* Submit the whole platform x procs matrix up front; each run
+           builds its own app instance inside the worker, so nothing
+           mutable is shared between concurrent simulations. *)
+        let submit pname n =
+          Pool.submit pool (fun () ->
+              (Machines.get pname).Platform.run (scale_apps app_name) ~nprocs:n)
+        in
+        let grid =
+          List.map
+            (fun pname ->
+              let base = submit pname 1 in
+              ( pname,
+                base,
+                List.map (fun n -> (n, if n = 1 then base else submit pname n)) procs ))
+            platforms
+        in
         List.iter
-          (fun n ->
-            let r =
-              if n = 1 then base else p.Platform.run (scale_apps app_name) ~nprocs:n
-            in
-            Table.add_row table
-              [
-                p.Platform.name;
-                string_of_int n;
-                Table.cell_f ~digits:4 (Report.seconds r);
-                Table.cell_speedup (Report.speedup ~base r);
-                string_of_int (Report.get r "net.msgs.total");
-                string_of_int (Report.get r "net.bytes.total" / 1024);
-              ])
-          procs)
-      platforms;
+          (fun (pname, base_fut, rows) ->
+            let p = Machines.get pname in
+            let base = Future.await base_fut in
+            List.iter
+              (fun (n, fut) ->
+                let r = Future.await fut in
+                Table.add_row table
+                  [
+                    p.Platform.name;
+                    string_of_int n;
+                    Table.cell_f ~digits:4 (Report.seconds r);
+                    Table.cell_speedup (Report.speedup ~base r);
+                    string_of_int (Report.get r "net.msgs.total");
+                    string_of_int (Report.get r "net.bytes.total" / 1024);
+                  ])
+              rows)
+          grid);
     Table.print table
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run one application on every software-DSM variant and the SGI")
-    Term.(const compare $ app_arg $ procs_arg $ scale_arg)
+    Term.(const compare $ app_arg $ procs_arg $ scale_arg $ jobs_arg)
 
 let main =
   Cmd.group

@@ -135,12 +135,12 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
              ends.(p) <- Engine.clock f))
     done;
     (try Engine.run eng
-     with Shm_sim.Engine.Deadlock names ->
+     with Shm_sim.Engine.Deadlock _ as e ->
        if Sys.getenv_opt "TMKDBG_LOCKS" <> None then
          for l = 0 to 7 do
            Printf.eprintf "lock %d: %s\n" l (System.dump_lock sys ~lock:l)
          done;
-       raise (Shm_sim.Engine.Deadlock names));
+       raise e);
     {
       Report.platform = name;
       app = app.name;

@@ -1,0 +1,77 @@
+type 'a state =
+  | Thunk of (unit -> 'a)  (* lazy future; forced by the first awaiter *)
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable state : 'a state;
+}
+
+let make () =
+  { mutex = Mutex.create (); cond = Condition.create (); state = Pending }
+
+let of_thunk f =
+  { mutex = Mutex.create (); cond = Condition.create (); state = Thunk f }
+
+let complete t outcome =
+  Mutex.lock t.mutex;
+  (match t.state with
+  | Done _ | Failed _ ->
+      Mutex.unlock t.mutex;
+      invalid_arg "Future: already completed"
+  | Pending | Thunk _ ->
+      t.state <- outcome;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex)
+
+let fill t v = complete t (Done v)
+let fail t exn bt = complete t (Failed (exn, bt))
+
+let await t =
+  Mutex.lock t.mutex;
+  (* Claim the thunk, if any, so it runs exactly once even when several
+     threads await the same lazy future. *)
+  let to_force =
+    match t.state with
+    | Thunk f ->
+        t.state <- Pending;
+        Some f
+    | Pending | Done _ | Failed _ -> None
+  in
+  match to_force with
+  | Some f ->
+      Mutex.unlock t.mutex;
+      (match f () with
+      | v -> fill t v
+      | exception e -> fail t e (Printexc.get_raw_backtrace ()));
+      (* Fall through to the normal completed path. *)
+      Mutex.lock t.mutex;
+      let r = t.state in
+      Mutex.unlock t.mutex;
+      (match r with
+      | Done v -> v
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Pending | Thunk _ -> assert false)
+  | None ->
+      let rec wait () =
+        match t.state with
+        | Pending | Thunk _ ->
+            Condition.wait t.cond t.mutex;
+            wait ()
+        | Done v ->
+            Mutex.unlock t.mutex;
+            v
+        | Failed (e, bt) ->
+            Mutex.unlock t.mutex;
+            Printexc.raise_with_backtrace e bt
+      in
+      wait ()
+
+let peek t =
+  Mutex.lock t.mutex;
+  let r = match t.state with Done v -> Some v | _ -> None in
+  Mutex.unlock t.mutex;
+  r

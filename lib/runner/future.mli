@@ -1,0 +1,34 @@
+(** Single-assignment synchronization cells connecting run producers to
+    consumers across domains.
+
+    A future is completed exactly once, either with a value ([fill]) or an
+    exception ([fail]); every [await]er then observes the same outcome.  A
+    {e lazy} future ([of_thunk]) carries its computation with it and runs
+    it in the first awaiting thread — this is how the scheduler degrades to
+    strictly sequential execution when the pool has no worker domains. *)
+
+type 'a t
+
+(** [make ()] is a pending future, to be completed by [fill] or [fail]. *)
+val make : unit -> 'a t
+
+(** [fill t v] completes [t] with [v] and wakes every awaiter.
+    @raise Invalid_argument if [t] is already completed. *)
+val fill : 'a t -> 'a -> unit
+
+(** [fail t exn bt] completes [t] with an exception; [await] re-raises it
+    with backtrace [bt].
+    @raise Invalid_argument if [t] is already completed. *)
+val fail : 'a t -> exn -> Printexc.raw_backtrace -> unit
+
+(** [of_thunk f] is a future that runs [f] inside the first [await],
+    in the awaiting thread.  [f] runs at most once. *)
+val of_thunk : (unit -> 'a) -> 'a t
+
+(** [await t] blocks until [t] completes, then returns its value or
+    re-raises its exception. *)
+val await : 'a t -> 'a
+
+(** [peek t] is [Some v] if [t] has completed with [v]; [None] if it is
+    pending, still a thunk, or failed.  Never blocks or forces. *)
+val peek : 'a t -> 'a option

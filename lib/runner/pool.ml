@@ -1,0 +1,79 @@
+type t = {
+  n_workers : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.n_workers
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.stopped then None
+    else begin
+      Condition.wait t.cond t.mutex;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock t.mutex
+  | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      worker_loop t
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      n_workers = (if jobs <= 1 then 0 else jobs);
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init t.n_workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t f =
+  if t.n_workers = 0 then Future.of_thunk f
+  else begin
+    let fut = Future.make () in
+    let task () =
+      match f () with
+      | v -> Future.fill fut v
+      | exception e -> Future.fail fut e (Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push task t.queue;
+    Condition.signal t.cond;
+    Mutex.unlock t.mutex;
+    fut
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  let ds = t.domains in
+  t.domains <- [];
+  List.iter Domain.join ds
+
+let default_jobs () =
+  match Sys.getenv_opt "SHMCS_JOBS" with
+  | Some s ->
+      (match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> max 1 (Domain.recommended_domain_count () - 1))
+  | None -> max 1 (Domain.recommended_domain_count () - 1)

@@ -1,0 +1,33 @@
+(** Fixed-size domain pool for independent simulation runs.
+
+    With [jobs >= 2] the pool spawns [jobs] worker domains that drain a
+    FIFO work queue; [submit] returns a {!Future.t} completed by whichever
+    worker executes the task.  With [jobs <= 1] no domains are spawned and
+    [submit] returns a lazy future executed inside the first [Future.await]
+    — byte-for-byte the historical sequential behavior, with runs happening
+    at the moment their results are first demanded.
+
+    Tasks must be self-contained: one engine, one PRNG, one counter set
+    per run, nothing mutable shared with another task (see DESIGN.md,
+    "Determinism and isolation under the run scheduler"). *)
+
+type t
+
+(** [create ~jobs] starts a pool.  [jobs] is clamped to at least 1. *)
+val create : jobs:int -> t
+
+(** Number of worker domains ([0] in sequential mode). *)
+val jobs : t -> int
+
+(** [submit t f] schedules [f] and returns the future of its result.
+    @raise Invalid_argument if the pool has been shut down. *)
+val submit : t -> (unit -> 'a) -> 'a Future.t
+
+(** [shutdown t] lets queued tasks finish, then joins every worker.
+    Idempotent. *)
+val shutdown : t -> unit
+
+(** [default_jobs ()] is the [SHMCS_JOBS] environment variable if set to a
+    positive integer, else [Domain.recommended_domain_count () - 1], and
+    at least 1. *)
+val default_jobs : unit -> int

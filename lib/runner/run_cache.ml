@@ -1,0 +1,37 @@
+type ('k, 'v) t = {
+  pool : Pool.t;
+  mutex : Mutex.t;
+  table : ('k, 'v Future.t) Hashtbl.t;
+  mutable order : ('k * 'v Future.t) list; (* submission order, reversed *)
+}
+
+let create pool =
+  { pool; mutex = Mutex.create (); table = Hashtbl.create 64; order = [] }
+
+let find_or_submit t key thunk =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some fut ->
+      Mutex.unlock t.mutex;
+      fut
+  | None ->
+      (* Register the future before submitting so a racing lookup from
+         another domain can never submit a duplicate; Pool.submit only
+         enqueues, so holding the lock across it is cheap. *)
+      let fut = Pool.submit t.pool thunk in
+      Hashtbl.add t.table key fut;
+      t.order <- (key, fut) :: t.order;
+      Mutex.unlock t.mutex;
+      fut
+
+let to_list t =
+  Mutex.lock t.mutex;
+  let l = List.rev t.order in
+  Mutex.unlock t.mutex;
+  l
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,25 @@
+(** Deterministic future-based memoized run cache.
+
+    Several figures share the same (app, platform, nprocs) run: the cache
+    hands out one shared future per key, so the run executes exactly once
+    on the pool and every consumer blocks on the same result.  The first
+    [find_or_submit] for a key wins the submission; later calls — from any
+    domain — get the existing future, whether pending or completed.
+
+    Submission order is recorded and exposed via [to_list]: it depends only
+    on the order of [find_or_submit] calls, never on which worker finishes
+    first, so reports derived from it are identical at any [--jobs]. *)
+
+type ('k, 'v) t
+
+val create : Pool.t -> ('k, 'v) t
+
+(** [find_or_submit t key thunk] returns the future for [key], submitting
+    [thunk] to the pool if [key] has not been seen before. *)
+val find_or_submit : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v Future.t
+
+(** All futures ever submitted, in submission order. *)
+val to_list : ('k, 'v) t -> ('k * 'v Future.t) list
+
+(** Number of distinct keys submitted. *)
+val length : ('k, 'v) t -> int

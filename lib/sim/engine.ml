@@ -1,4 +1,16 @@
-exception Deadlock of string list
+exception Deadlock of { time : int; blocked : (string * int) list }
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock { time; blocked } ->
+        Some
+          (Printf.sprintf "Engine.Deadlock at t=%d (%d blocked): %s" time
+             (List.length blocked)
+             (String.concat ", "
+                (List.map
+                   (fun (name, clock) -> Printf.sprintf "%s@%d" name clock)
+                   blocked)))
+    | _ -> None)
 
 type t = {
   queue : (unit -> unit) Pqueue.t;
@@ -90,13 +102,13 @@ let run t =
     event ()
   done;
   if t.live > 0 then begin
-    let names =
+    let blocked =
       Hashtbl.fold
         (fun _ f acc ->
-          if f.finished || f.daemon then acc else f.fname :: acc)
+          if f.finished || f.daemon then acc else (f.fname, f.fclock) :: acc)
         t.blocked []
     in
-    raise (Deadlock (List.sort compare names))
+    raise (Deadlock { time = t.time; blocked = List.sort compare blocked })
   end
 
 let sync f =

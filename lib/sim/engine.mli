@@ -16,9 +16,13 @@ type fiber
 (** A simulated thread of control (one per simulated processor or
     protocol agent). *)
 
-exception Deadlock of string list
+exception Deadlock of { time : int; blocked : (string * int) list }
 (** Raised by [run] when the event queue drains while fibers are still
-    blocked; carries the blocked fibers' names. *)
+    blocked.  Carries the engine time at which the queue drained and each
+    blocked fiber's [(name, clock)], sorted by name, so a stall is
+    debuggable from the exception message alone (a registered
+    [Printexc] printer renders it as ["Engine.Deadlock at t=...:
+    name@clock, ..."]). *)
 
 val create : unit -> t
 

@@ -14,19 +14,24 @@ let is_empty q = q.size = 0
 
 let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
+(* Sentinel for vacant slots.  It is never compared and its [value] is
+   never read, so the cast is confined to filling unused slots; keeping a
+   real entry there instead would retain a dead event (and its closure)
+   for as long as the queue lives. *)
+let dummy_entry : type a. unit -> a entry =
+  let d = { time = min_int; seq = min_int; value = Obj.repr () } in
+  fun () -> (Obj.magic d : a entry)
+
 let grow q =
   let cap = Array.length q.heap in
   let new_cap = if cap = 0 then 16 else cap * 2 in
-  (* The dummy entry at unused slots is never compared. *)
-  let dummy = q.heap.(0) in
-  let heap = Array.make new_cap dummy in
+  let heap = Array.make new_cap (dummy_entry ()) in
   Array.blit q.heap 0 heap 0 q.size;
   q.heap <- heap
 
 let push q ~time value =
   let entry = { time; seq = q.next_seq; value } in
   q.next_seq <- q.next_seq + 1;
-  if q.size = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 entry;
   if q.size = Array.length q.heap then grow q;
   (* Sift up. *)
   let i = ref q.size in
@@ -50,6 +55,9 @@ let pop q =
   let root = heap.(0) in
   q.size <- q.size - 1;
   let last = heap.(q.size) in
+  (* Clear the vacated slot: it would otherwise keep [last] (and its
+     event closure) reachable until the slot is next overwritten. *)
+  heap.(q.size) <- dummy_entry ();
   if q.size > 0 then begin
     heap.(0) <- last;
     (* Sift down. *)

@@ -17,4 +17,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("ranges", Test_ranges.suite);
       ("platform", Test_platform.suite);
+      ("runner", Test_runner.suite);
     ]

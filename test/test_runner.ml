@@ -1,0 +1,175 @@
+(* Tests for the multicore run scheduler: the domain pool, the
+   future-based memoized run cache, and — most importantly — the
+   determinism contract: a matrix of simulations executed with --jobs 4
+   must produce reports identical, field by field, to a strictly
+   sequential execution, including the PR 1 golden checksums. *)
+
+module Pool = Shm_runner.Pool
+module Future = Shm_runner.Future
+module Run_cache = Shm_runner.Run_cache
+module Registry = Shm_apps.Registry
+module Platform = Shm_platform.Platform
+module Report = Shm_platform.Report
+
+(* ------------------------------------------------------------------ *)
+(* Pool and future mechanics                                           *)
+
+let test_sequential_pool_is_lazy () =
+  let pool = Pool.create ~jobs:1 in
+  let ran = Atomic.make 0 in
+  let fut =
+    Pool.submit pool (fun () ->
+        Atomic.incr ran;
+        41 + 1)
+  in
+  Alcotest.(check int) "not executed at submit" 0 (Atomic.get ran);
+  Alcotest.(check (option int)) "peek does not force" None (Future.peek fut);
+  Alcotest.(check int) "await forces inline" 42 (Future.await fut);
+  Alcotest.(check int) "executed once" 1 (Atomic.get ran);
+  Alcotest.(check int) "second await is cached" 42 (Future.await fut);
+  Alcotest.(check int) "still executed once" 1 (Atomic.get ran);
+  Pool.shutdown pool
+
+let test_parallel_pool_runs_tasks () =
+  let pool = Pool.create ~jobs:4 in
+  let futs = List.init 20 (fun i -> Pool.submit pool (fun () -> i * i)) in
+  let got = List.map Future.await futs in
+  Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "all results, in submission order"
+    (List.init 20 (fun i -> i * i))
+    got
+
+let test_pool_propagates_exceptions () =
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs in
+      let fut = Pool.submit pool (fun () -> failwith "boom") in
+      (match Future.await fut with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+      Pool.shutdown pool)
+    [ 1; 4 ]
+
+let test_run_cache_executes_once () =
+  let pool = Pool.create ~jobs:4 in
+  let cache : (string, int) Run_cache.t = Run_cache.create pool in
+  let ran = Atomic.make 0 in
+  let futs =
+    List.init 16 (fun _ ->
+        Run_cache.find_or_submit cache "shared-key" (fun () ->
+            Atomic.incr ran;
+            7))
+  in
+  List.iter (fun f -> Alcotest.(check int) "value" 7 (Future.await f)) futs;
+  Pool.shutdown pool;
+  Alcotest.(check int) "shared run executed exactly once" 1 (Atomic.get ran);
+  Alcotest.(check int) "one cache entry" 1 (Run_cache.length cache)
+
+let test_run_cache_submission_order () =
+  let pool = Pool.create ~jobs:2 in
+  let cache : (int, int) Run_cache.t = Run_cache.create pool in
+  List.iter
+    (fun k -> ignore (Run_cache.find_or_submit cache k (fun () -> k)))
+    [ 3; 1; 4; 1; 5; 9; 2; 6; 5; 3 ];
+  let order = List.map fst (Run_cache.to_list cache) in
+  Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "keys in first-submission order, duplicates collapsed"
+    [ 3; 1; 4; 5; 9; 2; 6 ] order
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: the five-app quick-scale matrix, sequential vs --jobs 4 *)
+
+type run_id = { app : string; backend : string; n : int }
+
+let matrix () =
+  List.concat_map
+    (fun (app, _) ->
+      List.map
+        (fun (backend, _) -> { app; backend; n = 4 })
+        (Test_ranges.golden_backends ()))
+    Test_ranges.goldens
+
+let run_matrix ~jobs =
+  let pool = Pool.create ~jobs in
+  let cache : (run_id, Report.t) Run_cache.t = Run_cache.create pool in
+  let futs =
+    List.map
+      (fun id ->
+        let fut =
+          Run_cache.find_or_submit cache id (fun () ->
+              (* Build app and platform inside the task: concurrent runs
+                 share nothing mutable (the isolation contract). *)
+              let app = Registry.app ~scale:Registry.Quick id.app in
+              let platform =
+                List.assoc id.backend (Test_ranges.golden_backends ())
+              in
+              platform.Platform.run app ~nprocs:id.n)
+        in
+        (id, fut))
+      (matrix ())
+  in
+  let reports = List.map (fun (id, fut) -> (id, Future.await fut)) futs in
+  Pool.shutdown pool;
+  reports
+
+let check_report_equal id (a : Report.t) (b : Report.t) =
+  let tag fmt = Printf.sprintf fmt id.app id.backend id.n in
+  Alcotest.(check string) (tag "%s/%s/%d platform") a.Report.platform b.platform;
+  Alcotest.(check string) (tag "%s/%s/%d app") a.Report.app b.app;
+  Alcotest.(check int) (tag "%s/%s/%d nprocs") a.Report.nprocs b.nprocs;
+  Alcotest.(check int) (tag "%s/%s/%d sim cycles") a.Report.cycles b.cycles;
+  Alcotest.(check (float 0.0)) (tag "%s/%s/%d checksum") a.Report.checksum
+    b.checksum;
+  Alcotest.(check int)
+    (tag "%s/%s/%d messages")
+    (Report.get a "net.msgs.total")
+    (Report.get b "net.msgs.total");
+  Alcotest.(check int)
+    (tag "%s/%s/%d kbytes")
+    (Report.get a "net.bytes.total" / 1024)
+    (Report.get b "net.bytes.total" / 1024);
+  Alcotest.(check (list (pair string int)))
+    (tag "%s/%s/%d all counters")
+    (List.sort compare a.Report.counters)
+    (List.sort compare b.Report.counters)
+
+let test_parallel_matches_sequential () =
+  let seq = run_matrix ~jobs:1 in
+  let par = run_matrix ~jobs:4 in
+  List.iter2
+    (fun (id_a, ra) (id_b, rb) ->
+      assert (id_a = id_b);
+      check_report_equal id_a ra rb)
+    seq par
+
+let test_parallel_matches_goldens () =
+  (* Reuse the PR 1 pinned checksums: a parallel execution must land on
+     exactly the same digests as the sequential golden run. *)
+  let par = run_matrix ~jobs:4 in
+  List.iter
+    (fun (id, r) ->
+      let want = List.assoc id.backend (List.assoc id.app Test_ranges.goldens) in
+      if r.Report.checksum <> want then
+        Alcotest.failf "%s on %s (--jobs 4): got %h, pinned %h" id.app
+          id.backend r.Report.checksum want)
+    par
+
+let suite =
+  [
+    Alcotest.test_case "jobs=1 pool is lazy and inline" `Quick
+      test_sequential_pool_is_lazy;
+    Alcotest.test_case "jobs=4 pool runs all tasks" `Quick
+      test_parallel_pool_runs_tasks;
+    Alcotest.test_case "exceptions propagate through await" `Quick
+      test_pool_propagates_exceptions;
+    Alcotest.test_case "shared run executes exactly once" `Quick
+      test_run_cache_executes_once;
+    Alcotest.test_case "cache preserves submission order" `Quick
+      test_run_cache_submission_order;
+    Alcotest.test_case "five-app matrix: --jobs 4 = sequential" `Slow
+      test_parallel_matches_sequential;
+    Alcotest.test_case "five-app matrix: --jobs 4 hits golden checksums" `Slow
+      test_parallel_matches_goldens;
+  ]

@@ -85,12 +85,45 @@ let test_suspend_resume () =
 
 let test_deadlock_detection () =
   let eng = Engine.create () in
-  ignore (Engine.spawn eng ~name:"stuck" ~at:0 (fun f -> Engine.suspend f));
+  ignore
+    (Engine.spawn eng ~name:"stuck" ~at:0 (fun f ->
+         Engine.advance f 12;
+         Engine.sync f;
+         Engine.suspend f));
+  ignore (Engine.spawn eng ~name:"bystander" ~at:0 (fun f -> Engine.advance f 3));
   match Engine.run eng with
   | () -> Alcotest.fail "expected Deadlock"
-  | exception Engine.Deadlock [ "stuck" ] -> ()
-  | exception Engine.Deadlock names ->
-      Alcotest.fail ("wrong names: " ^ String.concat "," names)
+  | exception Engine.Deadlock { time; blocked = [ ("stuck", clock) ] } ->
+      (* The diagnostics carry the drain time and the blocked fiber's own
+         clock, so a stall is debuggable from the message alone. *)
+      Alcotest.(check int) "blocked fiber clock" 12 clock;
+      Alcotest.(check int) "engine time at drain" 12 time
+  | exception Engine.Deadlock { blocked; _ } ->
+      Alcotest.fail
+        ("wrong names: " ^ String.concat "," (List.map fst blocked))
+
+let test_pqueue_pop_releases_entry () =
+  (* Regression for a space leak: the vacated slot after [pop] used to
+     keep the last heap entry — and the event closure it carried —
+     reachable for the queue's lifetime. *)
+  let q = Pqueue.create () in
+  let push_tracked () =
+    let payload = Array.make 1024 0 in
+    let w = Weak.create 1 in
+    Weak.set w 0 (Some payload);
+    Pqueue.push q ~time:1 (fun () -> Array.length payload);
+    w
+  in
+  let w = push_tracked () in
+  (* A second entry so pop exercises the sift-down path too. *)
+  Pqueue.push q ~time:2 (fun () -> 0);
+  ignore (Pqueue.pop q);
+  ignore (Pqueue.pop q);
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool)
+    "popped closure is collectable" true
+    (Weak.get w 0 = None)
 
 let test_daemon_no_deadlock () =
   let eng = Engine.create () in
@@ -185,6 +218,8 @@ let suite =
   [
     Alcotest.test_case "pqueue pops in time order" `Quick test_pqueue_order;
     Alcotest.test_case "pqueue breaks ties FIFO" `Quick test_pqueue_fifo_ties;
+    Alcotest.test_case "pqueue pop releases the vacated entry" `Quick
+      test_pqueue_pop_releases_entry;
     Alcotest.test_case "fiber clocks interleave by time" `Quick test_fiber_clocks;
     Alcotest.test_case "wait_until advances the clock" `Quick test_wait_until;
     Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
