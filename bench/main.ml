@@ -1023,12 +1023,14 @@ let json_float f =
     Printf.sprintf "%.1f" f
   else Printf.sprintf "%.17g" f
 
-(* Schema bench_access/2: every executed experiment's wall time, the
+(* Schema bench_access/3: every executed experiment's wall time, the
    domain-pool width, and a sequential-equivalent estimate (the sum of
    per-run walls measured inside the workers — what the suite would cost
    with --jobs 1).  Runs appear in submission order, which is the same at
    any --jobs; only runs whose results a table or figure consumed are
-   recorded, so the run list is identical across pool widths too. *)
+   recorded, so the run list is identical across pool widths too.  /3 adds
+   per-run offered/delivered/dropped/retrans reliability counters (all
+   equal to messages / zero on the bench's fault-free runs). *)
 let write_bench_json ~path ~jobs ~total_wall ~experiment_walls =
   let runs =
     List.filter_map
@@ -1044,7 +1046,7 @@ let write_bench_json ~path ~jobs ~total_wall ~experiment_walls =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"bench_access/2\",\n";
+  out "  \"schema\": \"bench_access/3\",\n";
   out "  \"scale\": %S,\n" (Registry.scale_name !scale);
   out "  \"jobs\": %d,\n" jobs;
   out "  \"total_wall_s\": %s,\n" (json_float total_wall);
@@ -1065,12 +1067,16 @@ let write_bench_json ~path ~jobs ~total_wall ~experiment_walls =
       out
         "    {\"app\": \"%s\", \"platform\": \"%s\", \"nprocs\": %d, \
          \"wall_s\": %s, \"sim_cycles\": %d, \"sim_s\": %s, \
-         \"messages\": %d, \"kbytes\": %d, \"checksum\": %s}%s\n"
+         \"messages\": %d, \"kbytes\": %d, \"offered\": %d, \
+         \"delivered\": %d, \"dropped\": %d, \"retrans\": %d, \
+         \"checksum\": %s}%s\n"
         (json_escape app_key) (json_escape platform_key) n (json_float wall)
         r.Report.cycles
         (json_float (Report.seconds r))
         (Report.get r "net.msgs.total")
         (Report.get r "net.bytes.total" / 1024)
+        (Report.offered r) (Report.delivered r) (Report.dropped r)
+        (Report.retransmissions r)
         (json_float r.Report.checksum)
         (if i = n_runs - 1 then "" else ","))
     runs;

@@ -24,17 +24,28 @@ if grep -nE '^let [a-zA-Z0-9_]+ *(:[^=]*)?= *(ref |Hashtbl\.create|Buffer\.creat
   exit 1
 fi
 
+# Reliability audit: the DSM protocol layers must route every remote
+# message through Shm_net.Reliable — a direct Fabric send/recv would
+# bypass sequencing and break the fault-tolerance contract of
+# DESIGN.md §9.
+if grep -nE 'Fabric\.(send|recv|loopback)' lib/tmk/*.ml lib/ivy/*.ml; then
+  echo "ci: lib/tmk and lib/ivy must use Shm_net.Reliable, not raw Fabric" >&2
+  exit 1
+fi
+
 # Bench smoke under a parallel pool: one quick-scale exhibit with
-# --jobs 2 must succeed and emit a valid bench_access/2 JSON report.
+# --jobs 2 must succeed and emit a valid bench_access/3 JSON report.
 smoke_json=$(mktemp)
-trap 'rm -f "$smoke_json"' EXIT
+clean_json=$(mktemp)
+chaos_json=$(mktemp)
+trap 'rm -f "$smoke_json" "$clean_json" "$chaos_json"' EXIT
 dune exec bench/main.exe -- --scale quick --only f3 --jobs 2 \
   --json "$smoke_json" >/dev/null
 if command -v jq >/dev/null 2>&1; then
   schema=$(jq -r .schema "$smoke_json")
   jobs=$(jq -r .jobs "$smoke_json")
   nruns=$(jq '.runs | length' "$smoke_json")
-  if [ "$schema" != "bench_access/2" ] || [ "$jobs" != 2 ] || \
+  if [ "$schema" != "bench_access/3" ] || [ "$jobs" != 2 ] || \
      [ "$nruns" -lt 1 ]; then
     echo "ci: bad bench JSON (schema=$schema jobs=$jobs runs=$nruns)" >&2
     exit 1
@@ -43,10 +54,38 @@ else
   python3 -c '
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"] == "bench_access/2", d["schema"]
+assert d["schema"] == "bench_access/3", d["schema"]
 assert d["jobs"] == 2, d["jobs"]
 assert len(d["runs"]) >= 1
 ' "$smoke_json"
 fi
+
+# Chaos smoke: a seeded 5% drop schedule over the Quick five-app matrix
+# on both software-DSM protocols must leave every checksum identical to
+# the fault-free run, with the reliable layer actually retransmitting.
+# The JSON writer emits one flat line, so grep suffices to extract
+# fields without a jq dependency.
+for plat in treadmarks ivy; do
+  for app in sor tsp water m-water ilink-clp; do
+    dune exec bin/shmsim.exe -- run -a "$app" -p "$plat" -n 4 \
+      --scale quick --json "$clean_json" >/dev/null
+    dune exec bin/shmsim.exe -- run -a "$app" -p "$plat" -n 4 \
+      --scale quick --drop 0.05 --fault-seed 1 \
+      --json "$chaos_json" >/dev/null
+    clean_sum=$(grep -o '"checksum": "[^"]*"' "$clean_json")
+    chaos_sum=$(grep -o '"checksum": "[^"]*"' "$chaos_json")
+    retrans=$(grep -o '"retrans": [0-9]*' "$chaos_json" | grep -o '[0-9]*$')
+    if [ -z "$clean_sum" ] || [ "$clean_sum" != "$chaos_sum" ]; then
+      echo "ci: chaos checksum diverged for $app on $plat" >&2
+      echo "ci:   clean: $clean_sum" >&2
+      echo "ci:   chaos: $chaos_sum" >&2
+      exit 1
+    fi
+    if [ "${retrans:-0}" -eq 0 ]; then
+      echo "ci: chaos run for $app on $plat never retransmitted" >&2
+      exit 1
+    fi
+  done
+done
 
 echo "ci: OK"

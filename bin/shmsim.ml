@@ -15,6 +15,7 @@ module Registry = Shm_apps.Registry
 module Machines = Shm_platform.Machines
 module Platform = Shm_platform.Platform
 module Report = Shm_platform.Report
+module Fabric = Shm_net.Fabric
 module Table = Shm_stats.Table
 module Pool = Shm_runner.Pool
 module Future = Shm_runner.Future
@@ -78,6 +79,128 @@ let jobs_arg =
            $(b,SHMCS_JOBS) or the machine's recommended domain count minus \
            one).  Output is identical at any $(docv).")
 
+(* Fault-injection flags (validated here so a bad value is a friendly
+   cmdliner error, not a raw exception from deep inside the simulator). *)
+
+let rate_conv ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some r when r >= 0.0 && r <= 1.0 -> Ok r
+    | Some _ ->
+        Error
+          (`Msg (Printf.sprintf "%s must be a probability in [0, 1], got %s"
+                   what s))
+    | None -> Error (`Msg (Printf.sprintf "%s must be a number, got %S" what s))
+  in
+  Arg.conv (parse, fun ppf r -> Format.fprintf ppf "%g" r)
+
+let nonneg_conv ~what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ ->
+        Error (`Msg (Printf.sprintf "%s must be non-negative, got %s" what s))
+    | None ->
+        Error (`Msg (Printf.sprintf "%s must be an integer, got %S" what s))
+  in
+  Arg.conv (parse, fun ppf n -> Format.pp_print_int ppf n)
+
+let drop_arg =
+  Arg.(
+    value & opt (rate_conv ~what:"--drop") 0.0
+    & info [ "drop" ] ~docv:"RATE"
+        ~doc:
+          "Drop each network message with probability $(docv) (both miss \
+           and sync classes).  Software-DSM platforms only.")
+
+let dup_arg =
+  Arg.(
+    value & opt (rate_conv ~what:"--dup") 0.0
+    & info [ "dup" ] ~docv:"RATE"
+        ~doc:"Duplicate each delivered message with probability $(docv).")
+
+let jitter_arg =
+  Arg.(
+    value & opt (nonneg_conv ~what:"--jitter") 0
+    & info [ "jitter" ] ~docv:"CYCLES"
+        ~doc:"Delay each delivery by a uniform extra 0..$(docv) cycles.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt (nonneg_conv ~what:"--fault-seed") 1
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:
+          "Seed of the fault-injection PRNG stream; the same seed \
+           reproduces the same fault and retransmission schedule.")
+
+let max_cycles_arg =
+  Arg.(
+    value & opt (some (nonneg_conv ~what:"--max-cycles")) None
+    & info [ "max-cycles" ] ~docv:"N"
+        ~doc:
+          "Abort a run whose event time exceeds $(docv) cycles (livelock \
+           watchdog); fault-injection runs default to a generous backstop.")
+
+let json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:"Also write the results (including the resolved fault policy \
+              and reliability counters) as JSON to $(docv).")
+
+let faults_of ~drop ~dup ~jitter ~seed =
+  { Fabric.no_faults with
+    Fabric.drop_miss = drop;
+    drop_sync = drop;
+    dup_rate = dup;
+    jitter_cycles = jitter;
+    fault_seed = seed }
+
+let fault_banner faults =
+  if not (Fabric.faults_active faults) then ""
+  else
+    Printf.sprintf ", faults: drop=%g dup=%g jitter=%d seed=%d"
+      faults.Fabric.drop_miss faults.Fabric.dup_rate faults.Fabric.jitter_cycles
+      faults.Fabric.fault_seed
+
+let write_run_json path ~app ~platform ~scale ~faults rows =
+  let buf = Buffer.create 1024 in
+  let fault_fields =
+    Printf.sprintf
+      "{\"active\": %b, \"drop\": %g, \"dup\": %g, \"jitter\": %d, \"seed\": \
+       %d}"
+      (Fabric.faults_active faults)
+      faults.Fabric.drop_miss faults.Fabric.dup_rate
+      faults.Fabric.jitter_cycles faults.Fabric.fault_seed
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\": \"shmsim_run/1\", \"app\": \"%s\", \"platform\": \
+        \"%s\", \"scale\": \"%s\", \"faults\": %s, \"runs\": ["
+       app platform scale fault_fields);
+  List.iteri
+    (fun i (n, r) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"nprocs\": %d, \"cycles\": %d, \"seconds\": %.9g, \"checksum\": \
+            \"%h\", \"msgs\": %d, \"kbytes\": %d, \"offered\": %d, \
+            \"delivered\": %d, \"dropped\": %d, \"duplicated\": %d, \
+            \"retrans\": %d, \"dups_suppressed\": %d}"
+           n r.Report.cycles (Report.seconds r) r.Report.checksum
+           (Report.get r "net.msgs.total")
+           (Report.get r "net.bytes.total" / 1024)
+           (Report.offered r) (Report.delivered r) (Report.dropped r)
+           (Report.duplicated r)
+           (Report.retransmissions r)
+           (Report.dups_suppressed r)))
+    rows;
+  Buffer.add_string buf "]}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf))
+
 (* [with_pool jobs f] resolves the pool width, runs [f pool], and joins
    the workers even on error. *)
 let with_pool jobs f =
@@ -86,16 +209,31 @@ let with_pool jobs f =
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
 let run_cmd =
-  let run app_name platform_name procs scale stats jobs =
+  let run app_name platform_name procs scale stats jobs drop dup jitter seed
+      max_cycles json =
     let app = Registry.app ~scale app_name in
-    let platform = Machines.get platform_name in
+    let faults = faults_of ~drop ~dup ~jitter ~seed in
+    let platform =
+      try Machines.get ~faults ?max_cycles platform_name
+      with Invalid_argument msg ->
+        Printf.eprintf "shmsim: %s\n" msg;
+        exit 2
+    in
+    let fault_cols =
+      if Fabric.faults_active faults then [ "dropped"; "retrans" ] else []
+    in
     let table =
       Table.create
         ~title:
-          (Printf.sprintf "%s on %s (%s scale)" app.name platform.Platform.name
-             (Registry.scale_name scale))
-        ~columns:[ "procs"; "seconds"; "speedup"; "msgs"; "kbytes"; "checksum" ]
+          (Printf.sprintf "%s on %s (%s scale%s)" app.name
+             platform.Platform.name
+             (Registry.scale_name scale)
+             (fault_banner faults))
+        ~columns:
+          ([ "procs"; "seconds"; "speedup"; "msgs"; "kbytes"; "checksum" ]
+          @ fault_cols)
     in
+    let results = ref [] in
     with_pool jobs (fun pool ->
         let futures =
           List.map
@@ -107,16 +245,24 @@ let run_cmd =
         List.iter
           (fun (n, fut) ->
             let r = Future.await fut in
+            results := (n, r) :: !results;
             let b = match !base with None -> base := Some r; r | Some b -> b in
             Table.add_row table
-              [
-                string_of_int n;
-                Table.cell_f ~digits:4 (Report.seconds r);
-                Table.cell_speedup (Report.speedup ~base:b r);
-                string_of_int (Report.get r "net.msgs.total");
-                string_of_int (Report.get r "net.bytes.total" / 1024);
-                Printf.sprintf "%.6g" r.Report.checksum;
-              ];
+              ([
+                 string_of_int n;
+                 Table.cell_f ~digits:4 (Report.seconds r);
+                 Table.cell_speedup (Report.speedup ~base:b r);
+                 string_of_int (Report.get r "net.msgs.total");
+                 string_of_int (Report.get r "net.bytes.total" / 1024);
+                 Printf.sprintf "%.6g" r.Report.checksum;
+               ]
+              @
+              if fault_cols = [] then []
+              else
+                [
+                  string_of_int (Report.dropped r);
+                  string_of_int (Report.retransmissions r);
+                ]);
             if stats then begin
               Printf.printf "--- counters (procs=%d)\n" n;
               List.iter
@@ -124,12 +270,18 @@ let run_cmd =
                 r.Report.counters
             end)
           futures);
-    Table.print table
+    Table.print table;
+    Option.iter
+      (fun path ->
+        write_run_json path ~app:app.name ~platform:platform.Platform.name
+          ~scale:(Registry.scale_name scale) ~faults (List.rev !results))
+      json
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an application on a platform model")
     Term.(
       const run $ app_arg $ platform_arg $ procs_arg $ scale_arg $ stats_arg
-      $ jobs_arg)
+      $ jobs_arg $ drop_arg $ dup_arg $ jitter_arg $ fault_seed_arg
+      $ max_cycles_arg $ json_arg)
 
 let list_cmd =
   let list () =

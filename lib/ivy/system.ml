@@ -2,6 +2,7 @@ module Engine = Shm_sim.Engine
 module Mailbox = Shm_sim.Mailbox
 module Waitq = Shm_sim.Waitq
 module Fabric = Shm_net.Fabric
+module Reliable = Shm_net.Reliable
 module Msg = Shm_net.Msg
 module Memory = Shm_memsys.Memory
 module Counters = Shm_stats.Counters
@@ -43,7 +44,7 @@ type barrier_state = { mutable arrivals : (int * int) list }
 type t = {
   eng : Engine.t;
   counters : Counters.t;
-  fabric : Proto.t Fabric.t;
+  net : Proto.t Reliable.t;
   page_words : int;
   n_pages : int;
   n_nodes : int;
@@ -75,7 +76,7 @@ let manager_of t page = page mod t.n_nodes
 
 let lock_manager_of t lock = lock mod t.n_nodes
 
-let overhead t = (Fabric.config t.fabric).Fabric.overhead
+let overhead t = (Fabric.config (Reliable.fabric t.net)).Fabric.overhead
 
 let create eng counters fabric ~page_words ~shared_words ~memories =
   let n_nodes = Array.length memories in
@@ -112,7 +113,7 @@ let create eng counters fabric ~page_words ~shared_words ~memories =
   {
     eng;
     counters;
-    fabric;
+    net = Reliable.create eng counters fabric;
     page_words;
     n_pages;
     n_nodes;
@@ -159,7 +160,7 @@ let install_page t fiber nd page data =
 let rec deliver t fiber ~src ~dst body =
   if src = dst then dispatch t fiber t.nodes.(dst) ~src body
   else
-    Fabric.send t.fabric fiber ~src ~dst ~class_:(Proto.class_ body)
+    Reliable.send t.net fiber ~src ~dst ~class_:(Proto.class_ body)
       ~size:(Proto.sizes body) body
 
 (* ---------------- manager-side page state machine ------------------ *)
@@ -312,7 +313,7 @@ and dispatch t fiber nd ~src body =
 let handler_loop t nd fiber =
   let ov = overhead t in
   let rec loop () =
-    let env = Fabric.recv t.fabric fiber ~node:nd.id in
+    let env = Reliable.recv t.net fiber ~node:nd.id in
     Engine.advance fiber ov.handler;
     (* CPU time spent serving: charged back to the application unless the
        message completes one of its own waits. *)
@@ -327,6 +328,7 @@ let handler_loop t nd fiber =
   loop ()
 
 let start t =
+  Reliable.start t.net;
   Array.iter
     (fun nd ->
       ignore
@@ -335,6 +337,8 @@ let start t =
            ~at:0
            (fun fiber -> handler_loop t nd fiber)))
     t.nodes
+
+let retx_note t = Reliable.pending_note t.net
 
 (* ---------------- application-facing operations -------------------- *)
 

@@ -21,7 +21,7 @@ type t
 val create :
   Shm_sim.Engine.t ->
   Shm_stats.Counters.t ->
-  Proto.t Shm_net.Fabric.t ->
+  Proto.t Shm_net.Reliable.packet Shm_net.Fabric.t ->
   page_words:int ->
   shared_words:int ->
   memories:Shm_memsys.Memory.t array ->
@@ -34,6 +34,10 @@ val memory : t -> node:int -> Shm_memsys.Memory.t
 val set_page_hook : t -> (node:int -> page:int -> unit) -> unit
 
 val start : t -> unit
+
+(** [retx_note t] is {!Shm_net.Reliable.pending_note} for the system's
+    channel — pass as [diag] to {!Shm_sim.Engine.run}. *)
+val retx_note : t -> string
 
 val page_of : t -> int -> int
 

@@ -1,28 +1,63 @@
 module Engine = Shm_sim.Engine
 module Resource = Shm_sim.Resource
 module Mailbox = Shm_sim.Mailbox
+module Prng = Shm_sim.Prng
 module Counters = Shm_stats.Counters
+
+type blackout = {
+  bo_src : int option;
+  bo_dst : int option;
+  bo_from : int;
+  bo_until : int;
+}
+
+type faults = {
+  drop_miss : float;
+  drop_sync : float;
+  dup_rate : float;
+  jitter_cycles : int;
+  fault_seed : int;
+  blackouts : blackout list;
+}
+
+let no_faults =
+  {
+    drop_miss = 0.0;
+    drop_sync = 0.0;
+    dup_rate = 0.0;
+    jitter_cycles = 0;
+    fault_seed = 0;
+    blackouts = [];
+  }
+
+let faults_active f =
+  f.drop_miss > 0.0 || f.drop_sync > 0.0 || f.dup_rate > 0.0
+  || f.jitter_cycles > 0
+  || f.blackouts <> []
 
 type config = {
   name : string;
   latency_cycles : int;
   bytes_per_cycle : float;
   overhead : Overhead.t;
+  faults : faults;
 }
 
 (* 155 Mbit/s user-limited to ~10 MB/s at 40 MHz: 0.25 bytes/cycle.
    1 us switch latency = 40 cycles at 40 MHz. *)
 let atm_dec ~overhead =
-  { name = "atm-dec"; latency_cycles = 40; bytes_per_cycle = 0.25; overhead }
+  { name = "atm-dec"; latency_cycles = 40; bytes_per_cycle = 0.25; overhead;
+    faults = no_faults }
 
 (* 155 Mbit/s = ~19.4 MB/s at 100 MHz: 0.194 bytes/cycle; 1 us = 100 cycles. *)
 let atm_sim ~overhead =
-  { name = "atm-sim"; latency_cycles = 100; bytes_per_cycle = 0.194; overhead }
+  { name = "atm-sim"; latency_cycles = 100; bytes_per_cycle = 0.194; overhead;
+    faults = no_faults }
 
 (* 200 MB/s at 100 MHz = 2 bytes/cycle; 100 ns = 10 cycles. *)
 let crossbar_sim =
   { name = "crossbar"; latency_cycles = 10; bytes_per_cycle = 2.0;
-    overhead = Overhead.hardware }
+    overhead = Overhead.hardware; faults = no_faults }
 
 type 'a t = {
   eng : Engine.t;
@@ -32,6 +67,11 @@ type 'a t = {
   tx : Resource.t array;
   rx : Resource.t array;
   inbox : 'a Msg.envelope Mailbox.t array;
+  (* Dedicated fault stream: draws happen only when [active], in global
+     event order, so a run's fault schedule is a pure function of
+     (deterministic run, fault_seed). *)
+  prng : Prng.t;
+  active : bool;
 }
 
 let create eng counters cfg ~nodes =
@@ -43,6 +83,8 @@ let create eng counters cfg ~nodes =
     tx = Array.init nodes (fun i -> Resource.create ~name:(Printf.sprintf "tx%d" i) ());
     rx = Array.init nodes (fun i -> Resource.create ~name:(Printf.sprintf "rx%d" i) ());
     inbox = Array.init nodes (fun _ -> Mailbox.create eng);
+    prng = Prng.create ~seed:(0x5EED_F417 lxor cfg.faults.fault_seed);
+    active = faults_active cfg.faults;
   }
 
 let nodes t = t.n
@@ -64,22 +106,77 @@ let count t ~class_ ~(size : Msg.sizes) =
   Counters.add c "net.bytes.payload" size.payload_bytes;
   Counters.add c "net.bytes.total" (Msg.total_bytes size)
 
+let faults_armed t = t.active
+
+let in_blackout t ~src ~dst ~at =
+  List.exists
+    (fun b ->
+      (match b.bo_src with None -> true | Some s -> s = src)
+      && (match b.bo_dst with None -> true | Some d -> d = dst)
+      && at >= b.bo_from && at < b.bo_until)
+    t.cfg.faults.blackouts
+
 let send t fiber ~src ~dst ~class_ ~size body =
   if src = dst then invalid_arg "Fabric.send: src = dst";
-  count t ~class_ ~size;
+  Counters.incr t.counters "net.msgs.offered";
   let ov = t.cfg.overhead in
   Engine.advance fiber (ov.fixed_send + (ov.per_word * data_words size));
   Engine.sync fiber;
   let bytes = Msg.total_bytes size in
   let cycles = wire_cycles t bytes in
-  let tx_done =
-    Resource.reserve t.tx.(src) ~ready:(Engine.clock fiber) ~cycles
+  let fl = t.cfg.faults in
+  let launch = Engine.clock fiber in
+  (* Fault decisions happen per offered message, in a fixed draw order
+     (blackout check, drop draw, dup draw, one jitter draw per delivered
+     copy); draws are skipped entirely when no fault policy is armed so
+     fault-free runs stay byte-identical. *)
+  let blackout = t.active && in_blackout t ~src ~dst ~at:launch in
+  let dropped =
+    blackout
+    || (t.active
+       &&
+       let rate =
+         match class_ with
+         | Msg.Miss -> fl.drop_miss
+         | Msg.Sync -> fl.drop_sync
+       in
+       rate > 0.0 && Prng.float t.prng 1.0 < rate)
   in
-  let arrival = tx_done + t.cfg.latency_cycles in
-  let delivered = Resource.reserve t.rx.(dst) ~ready:arrival ~cycles in
-  (* The sender is released once the message leaves its link. *)
-  Engine.set_clock fiber tx_done;
-  Mailbox.post t.inbox.(dst) ~at:delivered { Msg.src; dst; class_; size; body }
+  if dropped then begin
+    (* The sender still paid the send overhead and occupies its transmit
+       link — the packet left the host before the network lost it. *)
+    Counters.incr t.counters "net.faults.dropped";
+    if blackout then Counters.incr t.counters "net.faults.blackout";
+    let tx_done = Resource.reserve t.tx.(src) ~ready:launch ~cycles in
+    Engine.set_clock fiber tx_done
+  end
+  else begin
+    let dup =
+      t.active && fl.dup_rate > 0.0 && Prng.float t.prng 1.0 < fl.dup_rate
+    in
+    let jitter () =
+      if t.active && fl.jitter_cycles > 0 then
+        Prng.int t.prng (fl.jitter_cycles + 1)
+      else 0
+    in
+    let first_jitter = jitter () in
+    let tx_done = Resource.reserve t.tx.(src) ~ready:launch ~cycles in
+    let deliver_one extra =
+      if extra > 0 then Counters.incr t.counters "net.faults.delayed";
+      count t ~class_ ~size;
+      let arrival = tx_done + t.cfg.latency_cycles + extra in
+      let delivered = Resource.reserve t.rx.(dst) ~ready:arrival ~cycles in
+      Counters.incr t.counters "net.msgs.delivered";
+      Mailbox.post t.inbox.(dst) ~at:delivered { Msg.src; dst; class_; size; body }
+    in
+    (* The sender is released once the message leaves its link. *)
+    Engine.set_clock fiber tx_done;
+    deliver_one first_jitter;
+    if dup then begin
+      Counters.incr t.counters "net.faults.duplicated";
+      deliver_one (jitter ())
+    end
+  end
 
 let charge_recv t fiber (env : 'a Msg.envelope) =
   let ov = t.cfg.overhead in

@@ -12,11 +12,43 @@
 
 type 'a t
 
+type blackout = {
+  bo_src : int option;  (** restrict to this sender ([None] = any) *)
+  bo_dst : int option;  (** restrict to this receiver ([None] = any) *)
+  bo_from : int;  (** first cycle of the outage (inclusive) *)
+  bo_until : int;  (** end of the outage (exclusive) *)
+}
+(** A deterministic link outage: every message offered on a matching
+    (src, dst) pair while the sender's clock is inside [bo_from, bo_until)
+    is dropped. *)
+
+type faults = {
+  drop_miss : float;  (** drop probability for {!Msg.Miss}-class messages *)
+  drop_sync : float;  (** drop probability for {!Msg.Sync}-class messages *)
+  dup_rate : float;  (** probability a delivered message is duplicated *)
+  jitter_cycles : int;  (** extra delivery delay, uniform in [0, jitter] *)
+  fault_seed : int;  (** seed of the dedicated fault {!Shm_sim.Prng} stream *)
+  blackouts : blackout list;
+}
+(** Unreliable-network policy.  All rates are probabilities in [0, 1].
+    Decisions are drawn from a dedicated PRNG stream seeded from
+    [fault_seed], in global event order, so a fault schedule is
+    reproducible from (run, seed). *)
+
+(** The default policy: deliver everything exactly once.  With this policy
+    the fabric makes no PRNG draws at all, so fault-free runs are
+    byte-identical to a build without fault injection. *)
+val no_faults : faults
+
+(** [faults_active f] is true iff [f] can alter delivery. *)
+val faults_active : faults -> bool
+
 type config = {
   name : string;
   latency_cycles : int;  (** switch/propagation latency *)
   bytes_per_cycle : float;  (** per-link bandwidth *)
   overhead : Overhead.t;
+  faults : faults;
 }
 
 (** DECstation cluster: 40 MHz CPUs on 155 Mbit/s ATM (~10 MB/s user-level). *)
@@ -35,9 +67,25 @@ val nodes : 'a t -> int
 
 val config : 'a t -> config
 
+(** [faults_armed t] is true iff the fabric was created with an active
+    fault policy. *)
+val faults_armed : 'a t -> bool
+
+(** [wire_cycles t bytes] is the link occupancy, in cycles, of a
+    [bytes]-byte message (reliability layers use it to derive
+    retransmission timeouts from the latency/bandwidth model). *)
+val wire_cycles : 'a t -> int -> int
+
 (** [send t fiber ~src ~dst ~class_ ~size body] transmits; the fiber's clock
     ends when the message has left the sender (send overhead + local link
-    occupancy), not at delivery. *)
+    occupancy), not at delivery.
+
+    Counters: every call bumps [net.msgs.offered].  The per-class,
+    byte, and [net.msgs.delivered] counters are updated at delivery
+    decision time, so with faults armed a dropped message contributes to
+    offered (and [net.faults.dropped] / [net.faults.blackout]) but not to
+    traffic, while a duplicated one delivers — and counts — twice
+    ([net.faults.duplicated]); jittered copies bump [net.faults.delayed]. *)
 val send :
   'a t ->
   Shm_sim.Engine.fiber ->

@@ -1,0 +1,268 @@
+module Engine = Shm_sim.Engine
+module Mailbox = Shm_sim.Mailbox
+module Counters = Shm_stats.Counters
+
+type 'a packet =
+  | Raw of 'a
+  | Data of { seq : int; ack : int; body : 'a }
+  | Ack of { ack : int }
+
+exception
+  Peer_unreachable of { src : int; dst : int; seq : int; attempts : int }
+
+let () =
+  Printexc.register_printer (function
+    | Peer_unreachable { src; dst; seq; attempts } ->
+        Some
+          (Printf.sprintf
+             "Reliable.Peer_unreachable: node %d gave up on seq %d to node \
+              %d after %d attempts"
+             src seq dst attempts)
+    | _ -> None)
+
+let max_retries = 10
+
+(* Outbound packet awaiting acknowledgement. *)
+type 'a pending = {
+  p_class : Msg.class_;
+  p_size : Msg.sizes;
+  p_body : 'a;
+  mutable attempts : int;
+}
+
+(* One direction of one (node, peer) pair.  [next_seq]/[unacked] describe
+   the outbound stream to [peer]; [next_expected]/[ooo] the inbound stream
+   from it; [ack_owed]/[ack_timer_armed] the delayed standalone ack. *)
+type 'a link = {
+  mutable next_seq : int;
+  unacked : (int, 'a pending) Hashtbl.t;
+  mutable next_expected : int;
+  ooo : (int, Msg.class_ * Msg.sizes * 'a) Hashtbl.t;
+  mutable ack_owed : bool;
+  mutable ack_timer_armed : bool;
+}
+
+type cmd = Retx of { peer : int; seq : int } | Ack_due of { peer : int }
+
+type 'a t = {
+  eng : Engine.t;
+  counters : Counters.t;
+  fabric : 'a packet Fabric.t;
+  armed : bool;
+  links : 'a link array array; (* links.(node).(peer) *)
+  cmds : cmd Mailbox.t array; (* per-node retransmit-daemon timer queue *)
+  ready : 'a Msg.envelope Queue.t array; (* in-order backlog from ooo drain *)
+}
+
+let fabric t = t.fabric
+let armed t = t.armed
+
+let create eng counters fabric =
+  let n = Fabric.nodes fabric in
+  let link () =
+    {
+      next_seq = 0;
+      unacked = Hashtbl.create 8;
+      next_expected = 0;
+      ooo = Hashtbl.create 8;
+      ack_owed = false;
+      ack_timer_armed = false;
+    }
+  in
+  {
+    eng;
+    counters;
+    fabric;
+    armed = Fabric.faults_armed fabric;
+    links = Array.init n (fun _ -> Array.init n (fun _ -> link ()));
+    cmds = Array.init n (fun _ -> Mailbox.create eng);
+    ready = Array.init n (fun _ -> Queue.create ());
+  }
+
+(* Timeouts derive from the fabric's latency/bandwidth model: one-way wire
+   time for this packet plus the fixed software path at both ends, with a
+   4x safety factor to ride out moderate link contention without spurious
+   retransmission.  Spurious retransmits are harmless (dup-suppressed) but
+   waste simulated bandwidth. *)
+let software_slack (cfg : Fabric.config) =
+  let ov = cfg.overhead in
+  ov.Overhead.fixed_send + ov.Overhead.fixed_recv + (2 * ov.Overhead.handler)
+
+let base_timeout t ~size =
+  let cfg = Fabric.config t.fabric in
+  let one_way =
+    cfg.Fabric.latency_cycles
+    + Fabric.wire_cycles t.fabric (Msg.total_bytes size)
+  in
+  4 * (one_way + software_slack cfg)
+
+(* Standalone acks wait roughly one one-way hop before firing, giving a
+   reply (with its piggybacked ack) time to make the standalone one moot. *)
+let ack_delay t =
+  let cfg = Fabric.config t.fabric in
+  cfg.Fabric.latency_cycles + software_slack cfg
+
+let ack_size = Msg.sizes ()
+
+(* Cumulative ack for the inbound stream of [l]: highest seq below which
+   everything has been delivered in order. *)
+let cumulative_ack l = l.next_expected - 1
+
+let send t fiber ~src ~dst ~class_ ~size body =
+  if not t.armed then
+    Fabric.send t.fabric fiber ~src ~dst ~class_ ~size (Raw body)
+  else begin
+    let l = t.links.(src).(dst) in
+    let seq = l.next_seq in
+    l.next_seq <- seq + 1;
+    Hashtbl.replace l.unacked seq
+      { p_class = class_; p_size = size; p_body = body; attempts = 0 };
+    l.ack_owed <- false (* this packet piggybacks the ack *);
+    Counters.incr t.counters "net.reliable.data";
+    Fabric.send t.fabric fiber ~src ~dst ~class_ ~size
+      (Data { seq; ack = cumulative_ack l; body });
+    Mailbox.post t.cmds.(src)
+      ~at:(Engine.clock fiber + base_timeout t ~size)
+      (Retx { peer = dst; seq })
+  end
+
+let loopback t fiber ~node ~class_ ~size body =
+  Fabric.loopback t.fabric fiber ~node ~class_ ~size (Raw body)
+
+let process_ack t ~node ~peer ack =
+  let l = t.links.(node).(peer) in
+  let acked =
+    Hashtbl.fold (fun s _ acc -> if s <= ack then s :: acc else acc) l.unacked []
+  in
+  List.iter (Hashtbl.remove l.unacked) acked
+
+let send_ack t fiber ~src ~dst =
+  let l = t.links.(src).(dst) in
+  l.ack_owed <- false;
+  Counters.incr t.counters "net.reliable.acks";
+  Fabric.send t.fabric fiber ~src ~dst ~class_:Msg.Sync ~size:ack_size
+    (Ack { ack = cumulative_ack l })
+
+let note_inbound t fiber ~node ~peer =
+  let l = t.links.(node).(peer) in
+  l.ack_owed <- true;
+  if not l.ack_timer_armed then begin
+    l.ack_timer_armed <- true;
+    Mailbox.post t.cmds.(node)
+      ~at:(Engine.clock fiber + ack_delay t)
+      (Ack_due { peer })
+  end
+
+let envelope ~src ~dst ~class_ ~size body =
+  { Msg.src; dst; class_; size; body }
+
+let drain_ooo t ~node ~peer l =
+  let rec go () =
+    match Hashtbl.find_opt l.ooo l.next_expected with
+    | Some (class_, size, body) ->
+        Hashtbl.remove l.ooo l.next_expected;
+        l.next_expected <- l.next_expected + 1;
+        Queue.push
+          (envelope ~src:peer ~dst:node ~class_ ~size body)
+          t.ready.(node);
+        go ()
+    | None -> ()
+  in
+  go ()
+
+let rec recv t fiber ~node =
+  match Queue.take_opt t.ready.(node) with
+  | Some env -> env
+  | None -> (
+      let env = Fabric.recv t.fabric fiber ~node in
+      match env.Msg.body with
+      | Raw body ->
+          envelope ~src:env.src ~dst:env.dst ~class_:env.class_
+            ~size:env.size body
+      | Ack { ack } ->
+          process_ack t ~node ~peer:env.src ack;
+          recv t fiber ~node
+      | Data { seq; ack; body } ->
+          process_ack t ~node ~peer:env.src ack;
+          let l = t.links.(node).(env.src) in
+          if seq < l.next_expected || Hashtbl.mem l.ooo seq then begin
+            (* Duplicate (retransmission of something we already have):
+               the peer evidently missed our ack, so re-ack immediately. *)
+            Counters.incr t.counters "net.reliable.dups";
+            send_ack t fiber ~src:node ~dst:env.src;
+            recv t fiber ~node
+          end
+          else if seq = l.next_expected then begin
+            l.next_expected <- seq + 1;
+            drain_ooo t ~node ~peer:env.src l;
+            note_inbound t fiber ~node ~peer:env.src;
+            envelope ~src:env.src ~dst:env.dst ~class_:env.class_
+              ~size:env.size body
+          end
+          else begin
+            (* Early: buffer until the gap fills so the protocol layers
+               keep their per-link FIFO guarantee under jitter. *)
+            Counters.incr t.counters "net.reliable.ooo";
+            Hashtbl.replace l.ooo seq (env.class_, env.size, body);
+            note_inbound t fiber ~node ~peer:env.src;
+            recv t fiber ~node
+          end)
+
+let retx_daemon t node fiber =
+  let rec loop () =
+    (match Mailbox.recv fiber t.cmds.(node) with
+    | Retx { peer; seq } -> (
+        let l = t.links.(node).(peer) in
+        match Hashtbl.find_opt l.unacked seq with
+        | None -> () (* acked in the meantime; stale timer *)
+        | Some p ->
+            p.attempts <- p.attempts + 1;
+            if p.attempts > max_retries then
+              raise
+                (Peer_unreachable
+                   { src = node; dst = peer; seq; attempts = p.attempts });
+            Counters.incr t.counters "net.retrans.total";
+            l.ack_owed <- false;
+            Fabric.send t.fabric fiber ~src:node ~dst:peer ~class_:p.p_class
+              ~size:p.p_size
+              (Data { seq; ack = cumulative_ack l; body = p.p_body });
+            let backoff = base_timeout t ~size:p.p_size lsl p.attempts in
+            Mailbox.post t.cmds.(node)
+              ~at:(Engine.clock fiber + backoff)
+              (Retx { peer; seq }))
+    | Ack_due { peer } ->
+        let l = t.links.(node).(peer) in
+        l.ack_timer_armed <- false;
+        if l.ack_owed then send_ack t fiber ~src:node ~dst:peer);
+    loop ()
+  in
+  loop ()
+
+let start t =
+  if t.armed then
+    for node = 0 to Fabric.nodes t.fabric - 1 do
+      ignore
+        (Engine.spawn t.eng ~daemon:true
+           ~name:(Printf.sprintf "retx-%d" node)
+           ~at:0
+           (fun fiber -> retx_daemon t node fiber))
+    done
+
+let pending_retx t ~node =
+  Array.fold_left
+    (fun acc l -> acc + Hashtbl.length l.unacked)
+    0 t.links.(node)
+
+let pending_note t =
+  if not t.armed then ""
+  else
+    let n = Fabric.nodes t.fabric in
+    let parts = ref [] in
+    for node = n - 1 downto 0 do
+      let pending = pending_retx t ~node in
+      if pending > 0 then
+        parts := Printf.sprintf "node%d:%d" node pending :: !parts
+    done;
+    match !parts with
+    | [] -> "no pending retransmissions"
+    | parts -> "pending retransmissions: " ^ String.concat " " parts

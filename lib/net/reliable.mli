@@ -1,0 +1,94 @@
+(** User-level reliable request/reply channel over {!Fabric}.
+
+    Mirrors the paper's TreadMarks transport: UDP-style unreliable
+    delivery underneath, with "operation-specific, user-level" reliability
+    — sequence numbers, duplicate suppression, piggybacked acknowledgements
+    and timeout/retransmission — implemented in the DSM library rather
+    than the kernel.  Hardware platforms ([Snoop]/[Directory]) never see
+    this layer: their interconnects are reliable by construction.
+
+    Per ordered (node, peer) pair the layer keeps an outbound sequence
+    stream with a table of unacknowledged packets, and an inbound stream
+    delivered strictly in sequence (early packets are buffered), which
+    both suppresses duplicates and preserves the per-link FIFO order the
+    protocol layers rely on.  Every data packet piggybacks a cumulative
+    ack for the reverse direction; a delayed standalone ack covers one-way
+    traffic, and a duplicate triggers an immediate re-ack.  A per-node
+    retransmit daemon fiber resends unacked packets on a timeout derived
+    from the fabric's latency/bandwidth model, doubling it per attempt,
+    and raises {!Peer_unreachable} after {!max_retries} resends.
+
+    When the fabric's fault policy is inactive the layer is a pure
+    pass-through: no sequence numbers, timers or daemon fibers exist and
+    bodies travel wrapped in a zero-cost [Raw] constructor, so fault-free
+    runs are byte-identical to direct {!Fabric} use.
+
+    Counters: [net.reliable.data], [net.reliable.acks],
+    [net.reliable.dups] (duplicates suppressed), [net.reliable.ooo]
+    (early packets buffered), [net.retrans.total]. *)
+
+type 'a packet
+(** Wire representation carried by the underlying fabric. *)
+
+type 'a t
+
+exception
+  Peer_unreachable of { src : int; dst : int; seq : int; attempts : int }
+(** Raised (inside the simulation) when a packet stays unacknowledged
+    after {!max_retries} retransmissions. *)
+
+(** Retransmission budget per packet before {!Peer_unreachable}. *)
+val max_retries : int
+
+(** [create eng counters fabric] builds the channel.  The fault policy is
+    read from the fabric's config: reliability machinery is armed iff
+    {!Fabric.faults_armed}. *)
+val create :
+  Shm_sim.Engine.t -> Shm_stats.Counters.t -> 'a packet Fabric.t -> 'a t
+
+(** [start t] spawns the per-node retransmit daemon fibers.  Call once
+    before [Engine.run]; a no-op when the channel is not armed. *)
+val start : 'a t -> unit
+
+val fabric : 'a t -> 'a packet Fabric.t
+val armed : 'a t -> bool
+
+(** [base_timeout t ~size] is the initial retransmission timeout for a
+    packet of [size]: 4x the one-way latency + wire time + fixed software
+    path.  Attempt [k] waits [base_timeout * 2^k].  Exposed for tests. *)
+val base_timeout : 'a t -> size:Msg.sizes -> int
+
+(** Same contract as {!Fabric.send}, plus reliability when armed. *)
+val send :
+  'a t ->
+  Shm_sim.Engine.fiber ->
+  src:int ->
+  dst:int ->
+  class_:Msg.class_ ->
+  size:Msg.sizes ->
+  'a ->
+  unit
+
+(** Same contract as {!Fabric.loopback}: local, free, and exempt from
+    reliability (nothing to lose on a loopback path). *)
+val loopback :
+  'a t ->
+  Shm_sim.Engine.fiber ->
+  node:int ->
+  class_:Msg.class_ ->
+  size:Msg.sizes ->
+  'a ->
+  unit
+
+(** [recv t fiber ~node] blocks until the next in-order application
+    message for [node]; acks and duplicates are consumed internally. *)
+val recv : 'a t -> Shm_sim.Engine.fiber -> node:int -> 'a Msg.envelope
+
+(** [pending_retx t ~node] is the number of outbound packets from [node]
+    still awaiting acknowledgement. *)
+val pending_retx : 'a t -> node:int -> int
+
+(** [pending_note t] summarizes pending retransmissions per node — the
+    [diag] string for {!Shm_sim.Engine.run}, making a stall under faults
+    debuggable from the exception alone.  Empty when not armed. *)
+val pending_note : 'a t -> string

@@ -10,12 +10,22 @@ module Parmacs = Shm_parmacs.Parmacs
 
 type level = User | Kernel
 
-let make ?(notice_policy = Config.Lazy) ~name ~clock_mhz ~max_procs ~fabric_of
-    ~cache_cfg ~eager () =
+(* Backstop for fault-mode runs with no explicit --max-cycles: generous
+   enough for any paper-scale run (~1e10 cycles), small enough that a
+   retransmission livelock surfaces as Engine.Watchdog instead of an
+   apparent hang. *)
+let default_fault_watchdog = 200_000_000_000
+
+let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
+    ?max_cycles ~name ~clock_mhz ~max_procs ~fabric_of ~cache_cfg ~eager () =
   let run (app : Parmacs.app) ~nprocs =
     let eng = Engine.create () in
     let counters = Counters.create () in
-    let fabric = Fabric.create eng counters (fabric_of ()) ~nodes:nprocs in
+    let fabric =
+      Fabric.create eng counters
+        { (fabric_of ()) with Fabric.faults }
+        ~nodes:nprocs
+    in
     (* Round up to whole pages: twins and diffs work page-at-a-time. *)
     let shared_words = (app.shared_words + 511) / 512 * 512 in
     let image = Memory.create ~words:shared_words in
@@ -114,7 +124,14 @@ let make ?(notice_policy = Config.Lazy) ~name ~clock_mhz ~max_procs ~fabric_of
              app.work ctx;
              ends.(node) <- Engine.clock f))
     done;
-    Engine.run eng;
+    let max_cycles =
+      match max_cycles with
+      | Some _ -> max_cycles
+      | None ->
+          if Fabric.faults_active faults then Some default_fault_watchdog
+          else None
+    in
+    Engine.run ?max_cycles ~diag:(fun () -> System.retx_note sys) eng;
     System.check_invariants sys;
     {
       Report.platform = name;
@@ -128,7 +145,8 @@ let make ?(notice_policy = Config.Lazy) ~name ~clock_mhz ~max_procs ~fabric_of
   in
   { Platform.name; clock_mhz; max_procs; run }
 
-let dec ?(eager = false) ?(notice_policy = Config.Lazy) ~level () =
+let dec ?(eager = false) ?(notice_policy = Config.Lazy) ?faults ?max_cycles
+    ~level () =
   let overhead, suffix =
     match level with
     | User -> (Overhead.treadmarks_user, "user")
@@ -139,14 +157,15 @@ let dec ?(eager = false) ?(notice_policy = Config.Lazy) ~level () =
     | Config.Lazy -> suffix
     | Config.Eager_invalidate -> "erc"
   in
-  make ~notice_policy
+  make ~notice_policy ?faults ?max_cycles
     ~name:(Printf.sprintf "treadmarks-%s" suffix)
     ~clock_mhz:40.0 ~max_procs:8
     ~fabric_of:(fun () -> Fabric.atm_dec ~overhead)
     ~cache_cfg:Private_cache.dec_config ~eager ()
 
-let as_machine ?(eager = false) ?(overhead = Overhead.treadmarks_user) () =
-  make ~name:"AS" ~clock_mhz:100.0 ~max_procs:256
+let as_machine ?(eager = false) ?(overhead = Overhead.treadmarks_user) ?faults
+    ?max_cycles () =
+  make ?faults ?max_cycles ~name:"AS" ~clock_mhz:100.0 ~max_procs:256
     ~fabric_of:(fun () -> Fabric.atm_sim ~overhead)
     ~cache_cfg:Private_cache.sim_node_config ~eager ()
 

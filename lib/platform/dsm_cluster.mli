@@ -14,16 +14,27 @@ type level = User | Kernel
 
 (** [eager] honours the app's eager-release lock hints (TSP bound);
     [notice_policy] selects lazy (TreadMarks) or eager-invalidate
-    (conventional RC) write-notice propagation. *)
+    (conventional RC) write-notice propagation; [faults] arms network
+    fault injection on the ATM fabric (the DSM then runs over
+    {!Shm_net.Reliable}); [max_cycles] bounds the run with
+    {!Shm_sim.Engine.Watchdog} — fault-mode runs default to a generous
+    backstop so a retransmission livelock cannot hang forever. *)
 val dec :
   ?eager:bool ->
   ?notice_policy:Shm_tmk.Config.notice_policy ->
+  ?faults:Shm_net.Fabric.faults ->
+  ?max_cycles:int ->
   level:level ->
   unit ->
   Platform.t
 
 val as_machine :
-  ?eager:bool -> ?overhead:Shm_net.Overhead.t -> unit -> Platform.t
+  ?eager:bool ->
+  ?overhead:Shm_net.Overhead.t ->
+  ?faults:Shm_net.Fabric.faults ->
+  ?max_cycles:int ->
+  unit ->
+  Platform.t
 
 (** Plain DECstation: valid only for [nprocs = 1]. *)
 val dec_plain : unit -> Platform.t

@@ -9,13 +9,17 @@ module Parmacs = Shm_parmacs.Parmacs
 
 let page_words = 512
 
-let make () =
+(* See dsm_cluster.ml: watchdog backstop for fault-mode runs. *)
+let default_fault_watchdog = 200_000_000_000
+
+let make ?(faults = Shm_net.Fabric.no_faults) ?max_cycles () =
   let run (app : Parmacs.app) ~nprocs =
     let eng = Engine.create () in
     let counters = Counters.create () in
     let fabric =
       Fabric.create eng counters
-        (Fabric.atm_dec ~overhead:Overhead.treadmarks_user)
+        { (Fabric.atm_dec ~overhead:Overhead.treadmarks_user) with
+          Fabric.faults }
         ~nodes:nprocs
     in
     let shared_words = (app.shared_words + page_words - 1) / page_words * page_words in
@@ -100,7 +104,14 @@ let make () =
              app.work ctx;
              ends.(node) <- Engine.clock f))
     done;
-    Engine.run eng;
+    let max_cycles =
+      match max_cycles with
+      | Some _ -> max_cycles
+      | None ->
+          if Fabric.faults_active faults then Some default_fault_watchdog
+          else None
+    in
+    Engine.run ?max_cycles ~diag:(fun () -> Ivy.retx_note sys) eng;
     Ivy.check_invariants sys;
     {
       Report.platform = "ivy";

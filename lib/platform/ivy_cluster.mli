@@ -3,4 +3,6 @@
     that lazy release consistency was designed to improve on (an ablation
     beyond the paper's own comparisons; see DESIGN.md). *)
 
-val make : unit -> Platform.t
+(** [faults] / [max_cycles] as in {!Dsm_cluster.dec}. *)
+val make :
+  ?faults:Shm_net.Fabric.faults -> ?max_cycles:int -> unit -> Platform.t

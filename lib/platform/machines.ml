@@ -4,18 +4,48 @@ let names =
     "treadmarks-erc"; "ivy"; "sgi"; "sgi-fast"; "as"; "ah"; "hs";
   ]
 
-let get = function
-  | "dec" -> Dsm_cluster.dec_plain ()
-  | "treadmarks" -> Dsm_cluster.dec ~level:Dsm_cluster.User ()
-  | "treadmarks-kernel" -> Dsm_cluster.dec ~level:Dsm_cluster.Kernel ()
-  | "treadmarks-eager" -> Dsm_cluster.dec ~eager:true ~level:Dsm_cluster.User ()
+let fault_capable =
+  [ "treadmarks"; "treadmarks-kernel"; "treadmarks-eager"; "treadmarks-erc";
+    "ivy"; "as" ]
+
+let reject_faults name faults =
+  match faults with
+  | Some f when Shm_net.Fabric.faults_active f ->
+      invalid_arg
+        (Printf.sprintf
+           "platform %S models a reliable interconnect; fault injection \
+            applies only to the software-DSM platforms (%s)"
+           name
+           (String.concat ", " fault_capable))
+  | _ -> ()
+
+let get ?faults ?max_cycles name =
+  match name with
+  | "dec" ->
+      reject_faults name faults;
+      Dsm_cluster.dec_plain ()
+  | "treadmarks" ->
+      Dsm_cluster.dec ?faults ?max_cycles ~level:Dsm_cluster.User ()
+  | "treadmarks-kernel" ->
+      Dsm_cluster.dec ?faults ?max_cycles ~level:Dsm_cluster.Kernel ()
+  | "treadmarks-eager" ->
+      Dsm_cluster.dec ?faults ?max_cycles ~eager:true ~level:Dsm_cluster.User ()
   | "treadmarks-erc" ->
-      Dsm_cluster.dec ~notice_policy:Shm_tmk.Config.Eager_invalidate
-        ~level:Dsm_cluster.User ()
-  | "ivy" -> Ivy_cluster.make ()
-  | "sgi" -> Sgi.make ()
-  | "sgi-fast" -> Sgi.make_fast ()
-  | "as" -> Dsm_cluster.as_machine ()
-  | "ah" -> Ah.make ()
-  | "hs" -> Hs.make ()
+      Dsm_cluster.dec ?faults ?max_cycles
+        ~notice_policy:Shm_tmk.Config.Eager_invalidate ~level:Dsm_cluster.User
+        ()
+  | "ivy" -> Ivy_cluster.make ?faults ?max_cycles ()
+  | "sgi" ->
+      reject_faults name faults;
+      Sgi.make ()
+  | "sgi-fast" ->
+      reject_faults name faults;
+      Sgi.make_fast ()
+  | "as" -> Dsm_cluster.as_machine ?faults ?max_cycles ()
+  | "ah" ->
+      reject_faults name faults;
+      Ah.make ()
+  | "hs" ->
+      reject_faults name faults;
+      Hs.make ()
   | name -> invalid_arg (Printf.sprintf "unknown platform %S" name)

@@ -5,6 +5,17 @@
     ["sgi-fast"], ["as"], ["ah"], ["hs"]. *)
 val names : string list
 
-(** [get name] builds the platform.
-    @raise Invalid_argument for an unknown name. *)
-val get : string -> Platform.t
+(** Platforms that accept an active fault policy (software DSM over the
+    unreliable ATM fabric). *)
+val fault_capable : string list
+
+(** [get ?faults ?max_cycles name] builds the platform.  [faults] arms
+    network fault injection; [max_cycles] bounds each run with
+    {!Shm_sim.Engine.Watchdog} (fault-mode runs get a generous default
+    backstop).  Both are only meaningful on {!fault_capable} platforms —
+    the hardware platforms model reliable interconnects and refuse an
+    active policy.
+    @raise Invalid_argument for an unknown name, or for an active fault
+    policy on a hardware platform. *)
+val get :
+  ?faults:Shm_net.Fabric.faults -> ?max_cycles:int -> string -> Platform.t

@@ -17,6 +17,21 @@ let rate t name = float_of_int (get t name) /. seconds t
 
 let speedup ~base t = float_of_int base.cycles /. float_of_int t.cycles
 
+let offered t = get t "net.msgs.offered"
+let delivered t = get t "net.msgs.delivered"
+let dropped t = get t "net.faults.dropped"
+let duplicated t = get t "net.faults.duplicated"
+let retransmissions t = get t "net.retrans.total"
+let dups_suppressed t = get t "net.reliable.dups"
+
+let fault_summary t =
+  Printf.sprintf
+    "offered=%d delivered=%d dropped=%d duplicated=%d retrans=%d \
+     dups_suppressed=%d acks=%d"
+    (offered t) (delivered t) (dropped t) (duplicated t) (retransmissions t)
+    (dups_suppressed t)
+    (get t "net.reliable.acks")
+
 let pp ppf t =
   Format.fprintf ppf "%s/%s p=%d: %.4f s (%d cycles), checksum=%.6g"
     t.platform t.app t.nprocs (seconds t) t.cycles t.checksum

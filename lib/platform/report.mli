@@ -22,4 +22,23 @@ val rate : t -> string -> float
     1-processor run). *)
 val speedup : base:t -> t -> float
 
+(** {2 Fault-injection / reliability counters}
+
+    All zero on fault-free runs and hardware platforms. *)
+
+val offered : t -> int  (** [net.msgs.offered]: every send attempt *)
+
+val delivered : t -> int  (** [net.msgs.delivered]: copies posted *)
+
+val dropped : t -> int  (** [net.faults.dropped] *)
+
+val duplicated : t -> int  (** [net.faults.duplicated] *)
+
+val retransmissions : t -> int  (** [net.retrans.total] *)
+
+val dups_suppressed : t -> int  (** [net.reliable.dups] *)
+
+(** One-line rendering of the counters above. *)
+val fault_summary : t -> string
+
 val pp : Format.formatter -> t -> unit

@@ -1,15 +1,33 @@
-exception Deadlock of { time : int; blocked : (string * int) list }
+exception
+  Deadlock of { time : int; blocked : (string * int) list; note : string }
+
+exception
+  Watchdog of {
+    time : int;
+    limit : int;
+    blocked : (string * int) list;
+    note : string;
+  }
+
+let render_blocked blocked =
+  String.concat ", "
+    (List.map (fun (name, clock) -> Printf.sprintf "%s@%d" name clock) blocked)
+
+let render_note = function "" -> "" | note -> "; " ^ note
 
 let () =
   Printexc.register_printer (function
-    | Deadlock { time; blocked } ->
+    | Deadlock { time; blocked; note } ->
         Some
-          (Printf.sprintf "Engine.Deadlock at t=%d (%d blocked): %s" time
-             (List.length blocked)
-             (String.concat ", "
-                (List.map
-                   (fun (name, clock) -> Printf.sprintf "%s@%d" name clock)
-                   blocked)))
+          (Printf.sprintf "Engine.Deadlock at t=%d (%d blocked): %s%s" time
+             (List.length blocked) (render_blocked blocked) (render_note note))
+    | Watchdog { time; limit; blocked; note } ->
+        Some
+          (Printf.sprintf
+             "Engine.Watchdog: event at t=%d exceeds max_cycles=%d (%d \
+              blocked): %s%s"
+             time limit (List.length blocked) (render_blocked blocked)
+             (render_note note))
     | _ -> None)
 
 type t = {
@@ -95,21 +113,27 @@ let spawn t ?(daemon = false) ~name ~at body =
   schedule t ~at start;
   fiber
 
-let run t =
+let blocked_report t =
+  Hashtbl.fold
+    (fun _ f acc ->
+      if f.finished || f.daemon then acc else (f.fname, f.fclock) :: acc)
+    t.blocked []
+  |> List.sort compare
+
+let run ?max_cycles ?(diag = fun () -> "") t =
+  let limit = match max_cycles with Some l -> l | None -> max_int in
   while not (Pqueue.is_empty t.queue) do
     let time, event = Pqueue.pop t.queue in
+    if time > limit then
+      raise
+        (Watchdog
+           { time; limit; blocked = blocked_report t; note = diag () });
     t.time <- time;
     event ()
   done;
-  if t.live > 0 then begin
-    let blocked =
-      Hashtbl.fold
-        (fun _ f acc ->
-          if f.finished || f.daemon then acc else (f.fname, f.fclock) :: acc)
-        t.blocked []
-    in
-    raise (Deadlock { time = t.time; blocked = List.sort compare blocked })
-  end
+  if t.live > 0 then
+    raise
+      (Deadlock { time = t.time; blocked = blocked_report t; note = diag () })
 
 let sync f =
   (* Fast path: if nothing is scheduled before our clock, yielding would be

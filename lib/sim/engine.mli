@@ -16,13 +16,28 @@ type fiber
 (** A simulated thread of control (one per simulated processor or
     protocol agent). *)
 
-exception Deadlock of { time : int; blocked : (string * int) list }
+exception
+  Deadlock of { time : int; blocked : (string * int) list; note : string }
 (** Raised by [run] when the event queue drains while fibers are still
-    blocked.  Carries the engine time at which the queue drained and each
-    blocked fiber's [(name, clock)], sorted by name, so a stall is
+    blocked.  Carries the engine time at which the queue drained, each
+    blocked fiber's [(name, clock)] sorted by name, and the [diag]
+    snapshot (empty when no [diag] was supplied), so a stall is
     debuggable from the exception message alone (a registered
     [Printexc] printer renders it as ["Engine.Deadlock at t=...:
-    name@clock, ..."]). *)
+    name@clock, ...; note"]). *)
+
+exception
+  Watchdog of {
+    time : int;
+    limit : int;
+    blocked : (string * int) list;
+    note : string;
+  }
+(** Raised by [run ~max_cycles] when the next event's time exceeds the
+    cycle budget — the livelock analogue of [Deadlock] (e.g. unbounded
+    retransmission under a pathological fault schedule).  Carries the
+    offending event time, the limit, the blocked fibers and the [diag]
+    snapshot. *)
 
 val create : unit -> t
 
@@ -42,9 +57,14 @@ val spawn : t -> ?daemon:bool -> name:string -> at:int -> (fiber -> unit) -> fib
     [f] must not perform fiber effects). *)
 val schedule : t -> at:int -> (unit -> unit) -> unit
 
-(** [run t] dispatches events until none remain.  Exceptions raised inside
-    fibers propagate.  @raise Deadlock if blocked fibers remain. *)
-val run : t -> unit
+(** [run ?max_cycles ?diag t] dispatches events until none remain.
+    Exceptions raised inside fibers propagate.  [diag] is called only when
+    an exception is about to be raised; its result is embedded as the
+    exception's [note] (protocol layers use it to report in-flight
+    retransmission state).
+    @raise Deadlock if blocked fibers remain.
+    @raise Watchdog if an event's time exceeds [max_cycles]. *)
+val run : ?max_cycles:int -> ?diag:(unit -> string) -> t -> unit
 
 (** {2 Operations within a fiber} *)
 

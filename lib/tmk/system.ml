@@ -2,6 +2,7 @@ module Engine = Shm_sim.Engine
 module Mailbox = Shm_sim.Mailbox
 module Waitq = Shm_sim.Waitq
 module Fabric = Shm_net.Fabric
+module Reliable = Shm_net.Reliable
 module Msg = Shm_net.Msg
 module Overhead = Shm_net.Overhead
 module Memory = Shm_memsys.Memory
@@ -51,7 +52,7 @@ type barrier_state = { mutable arrivals : (int * int * Vc.t) list }
 type t = {
   eng : Engine.t;
   counters : Counters.t;
-  fabric : Proto.t Fabric.t;
+  net : Proto.t Reliable.t;
   cfg : Config.t;
   nodes : node array;
   barriers : barrier_state array;
@@ -82,7 +83,7 @@ let update_rights t nd page =
      else if st.twin <> None || t.cfg.n_nodes = 1 then '\002'
      else '\001')
 
-let overhead t = (Fabric.config t.fabric).Fabric.overhead
+let overhead t = (Fabric.config (Reliable.fabric t.net)).Fabric.overhead
 
 let create eng counters fabric cfg ~memories =
   Config.validate cfg;
@@ -133,7 +134,7 @@ let create eng counters fabric cfg ~memories =
   {
     eng;
     counters;
-    fabric;
+    net = Reliable.create eng counters fabric;
     cfg;
     nodes = Array.init n mk_node;
     barriers = Array.init cfg.n_barriers (fun _ -> { arrivals = [] });
@@ -178,7 +179,7 @@ let debug_lock =
   | None -> -1
 
 let send t fiber ~src ~dst body =
-  Fabric.send t.fabric fiber ~src ~dst ~class_:(Proto.class_ body)
+  Reliable.send t.net fiber ~src ~dst ~class_:(Proto.class_ body)
     ~size:(Proto.sizes body) body
 
 (* CPU cycles a node spends serving a request, charged to its application
@@ -617,7 +618,7 @@ let acquire t fiber ~node ~lock =
          order.  A direct call here could run with a lagging application
          clock and launch a forward that overtakes an earlier one on the
          wire, breaking the token chain. *)
-      Fabric.loopback t.fabric fiber ~node:nd.id ~class_:(Proto.class_ body)
+      Reliable.loopback t.net fiber ~node:nd.id ~class_:(Proto.class_ body)
         ~size:(Proto.sizes body) body
     else send t fiber ~src:nd.id ~dst:manager body;
     (match Mailbox.recv fiber mb with
@@ -819,13 +820,14 @@ let handle t fiber nd (env : Proto.t Msg.envelope) =
 
 let handler_loop t nd fiber =
   let rec loop () =
-    let env = Fabric.recv t.fabric fiber ~node:nd.id in
+    let env = Reliable.recv t.net fiber ~node:nd.id in
     handle t fiber nd env;
     loop ()
   in
   loop ()
 
 let start t =
+  Reliable.start t.net;
   Array.iter
     (fun nd ->
       ignore
@@ -834,6 +836,8 @@ let start t =
            ~at:0
            (fun fiber -> handler_loop t nd fiber)))
     t.nodes
+
+let retx_note t = Reliable.pending_note t.net
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)

@@ -2,7 +2,9 @@
 
     One [t] drives a whole cluster: per-node page tables, twins, interval
     logs, diff stores, the distributed lock queues, and the centralized
-    barrier manager, exchanging {!Proto} messages over a {!Shm_net.Fabric}.
+    barrier manager, exchanging {!Proto} messages over a
+    {!Shm_net.Reliable} channel (which is a pure pass-through to the
+    underlying {!Shm_net.Fabric} unless the fabric injects faults).
 
     {b Node vs processor.}  The protocol works on {e nodes}.  On AS and the
     DEC cluster a node has one processor; on HS a node is a bus-based
@@ -23,7 +25,7 @@ type t
 val create :
   Shm_sim.Engine.t ->
   Shm_stats.Counters.t ->
-  Proto.t Shm_net.Fabric.t ->
+  Proto.t Shm_net.Reliable.packet Shm_net.Fabric.t ->
   Config.t ->
   memories:Shm_memsys.Memory.t array ->
   t
@@ -38,8 +40,14 @@ val memory : t -> node:int -> Shm_memsys.Memory.t
     the platform can invalidate stale cache lines. *)
 val set_page_hook : t -> (node:int -> page:int -> unit) -> unit
 
-(** [start t] spawns one message-handler daemon fiber per node. *)
+(** [start t] spawns one message-handler daemon fiber per node (plus the
+    reliable layer's retransmit daemons when faults are armed). *)
 val start : t -> unit
+
+(** [retx_note t] is {!Shm_net.Reliable.pending_note} for the system's
+    channel — pass as [diag] to {!Shm_sim.Engine.run} so deadlock/watchdog
+    reports show per-node pending retransmissions. *)
+val retx_note : t -> string
 
 val page_of : t -> int -> int
 

@@ -6,6 +6,7 @@ let () =
       ("stats", Test_stats.suite);
       ("props", Test_props.suite);
       ("net", Test_net.suite);
+      ("reliable", Test_reliable.suite);
       ("memsys", Test_memsys.suite);
       ("tmk", Test_tmk.suite);
       ("tmk-edge", Test_tmk_edge.suite);

@@ -23,10 +23,10 @@ let test_overhead_presets () =
   Alcotest.(check int) "sweep per-word" 1 s.per_word;
   Alcotest.(check int) "hardware free" 0 Overhead.hardware.fixed_send
 
-let zero_overhead_fabric eng counters ~nodes =
+let zero_overhead_fabric ?(faults = Fabric.no_faults) eng counters ~nodes =
   Fabric.create eng counters
     { Fabric.name = "test"; latency_cycles = 100; bytes_per_cycle = 1.0;
-      overhead = Overhead.hardware }
+      overhead = Overhead.hardware; faults }
     ~nodes
 
 let test_wire_time () =
@@ -74,7 +74,7 @@ let test_overhead_charging () =
   let fab =
     Fabric.create eng counters
       { Fabric.name = "test"; latency_cycles = 0; bytes_per_cycle = 1e9;
-        overhead }
+        overhead; faults = Fabric.no_faults }
       ~nodes:2
   in
   let payload = 80 (* = 10 words *) in
@@ -149,6 +149,63 @@ let test_counters () =
   Alcotest.(check int) "header bytes" 64
     (Counters.get counters "net.bytes.header")
 
+let test_offered_vs_delivered () =
+  (* Accounting happens at delivery decision time: a dropped message counts
+     as offered but contributes nothing to traffic counters. *)
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let faults = { Fabric.no_faults with Fabric.drop_miss = 1.0; fault_seed = 7 } in
+  let fab = zero_overhead_fabric ~faults eng counters ~nodes:2 in
+  ignore
+    (Engine.spawn eng ~name:"tx" ~at:0 (fun f ->
+         Fabric.send fab f ~src:0 ~dst:1 ~class_:Msg.Miss
+           ~size:(Msg.sizes ~payload:256 ())
+           ();
+         Fabric.send fab f ~src:0 ~dst:1 ~class_:Msg.Sync ~size:(Msg.sizes ())
+           ()));
+  ignore
+    (Engine.spawn eng ~daemon:true ~name:"rx" ~at:0 (fun f ->
+         ignore (Fabric.recv fab f ~node:1)));
+  Engine.run eng;
+  Alcotest.(check int) "offered" 2 (Counters.get counters "net.msgs.offered");
+  Alcotest.(check int) "delivered" 1
+    (Counters.get counters "net.msgs.delivered");
+  Alcotest.(check int) "dropped" 1 (Counters.get counters "net.faults.dropped");
+  Alcotest.(check int) "miss traffic suppressed" 0
+    (Counters.get counters "net.msgs.miss");
+  Alcotest.(check int) "payload bytes suppressed" 0
+    (Counters.get counters "net.bytes.payload");
+  Alcotest.(check int) "sync traffic delivered" 1
+    (Counters.get counters "net.msgs.sync")
+
+let test_blackout_window () =
+  let eng = Engine.create () in
+  let counters = Counters.create () in
+  let faults =
+    { Fabric.no_faults with
+      Fabric.blackouts =
+        [ { Fabric.bo_src = Some 0; bo_dst = None; bo_from = 0; bo_until = 50 } ]
+    }
+  in
+  let fab = zero_overhead_fabric ~faults eng counters ~nodes:2 in
+  ignore
+    (Engine.spawn eng ~name:"tx" ~at:0 (fun f ->
+         (* Launched at t=0: inside the outage. *)
+         Fabric.send fab f ~src:0 ~dst:1 ~class_:Msg.Sync ~size:(Msg.sizes ())
+           ();
+         (* Past the outage end: delivered. *)
+         Engine.wait_until f 100;
+         Fabric.send fab f ~src:0 ~dst:1 ~class_:Msg.Sync ~size:(Msg.sizes ())
+           ()));
+  ignore
+    (Engine.spawn eng ~daemon:true ~name:"rx" ~at:0 (fun f ->
+         ignore (Fabric.recv fab f ~node:1)));
+  Engine.run eng;
+  Alcotest.(check int) "blackout drop" 1
+    (Counters.get counters "net.faults.blackout");
+  Alcotest.(check int) "delivered after window" 1
+    (Counters.get counters "net.msgs.delivered")
+
 let test_self_send_rejected () =
   let eng = Engine.create () in
   let counters = Counters.create () in
@@ -172,5 +229,8 @@ let suite =
       test_overhead_charging;
     Alcotest.test_case "receive-link contention" `Quick test_link_contention;
     Alcotest.test_case "message/byte counters" `Quick test_counters;
+    Alcotest.test_case "offered vs delivered accounting" `Quick
+      test_offered_vs_delivered;
+    Alcotest.test_case "blackout window" `Quick test_blackout_window;
     Alcotest.test_case "self-send rejected" `Quick test_self_send_rejected;
   ]

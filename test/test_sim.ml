@@ -93,7 +93,7 @@ let test_deadlock_detection () =
   ignore (Engine.spawn eng ~name:"bystander" ~at:0 (fun f -> Engine.advance f 3));
   match Engine.run eng with
   | () -> Alcotest.fail "expected Deadlock"
-  | exception Engine.Deadlock { time; blocked = [ ("stuck", clock) ] } ->
+  | exception Engine.Deadlock { time; blocked = [ ("stuck", clock) ]; _ } ->
       (* The diagnostics carry the drain time and the blocked fiber's own
          clock, so a stall is debuggable from the message alone. *)
       Alcotest.(check int) "blocked fiber clock" 12 clock;
