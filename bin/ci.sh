@@ -33,12 +33,21 @@ if grep -nE 'Fabric\.(send|recv|loopback)' lib/tmk/*.ml lib/ivy/*.ml; then
   exit 1
 fi
 
+# Diagnosability audit: a protocol layer that reaches an impossible state
+# must raise a descriptive error naming the page/requester/state, never
+# a bare `assert false` (DESIGN.md §10 — the Ivy manager's Invalid-state
+# branch was exactly such a silent failure).
+if grep -n 'assert false' lib/ivy/*.ml lib/tmk/*.ml; then
+  echo "ci: raise a descriptive error instead of 'assert false' in the DSM protocol layers" >&2
+  exit 1
+fi
+
 # Bench smoke under a parallel pool: one quick-scale exhibit with
 # --jobs 2 must succeed and emit a valid bench_access/3 JSON report.
 smoke_json=$(mktemp)
 clean_json=$(mktemp)
 chaos_json=$(mktemp)
-trap 'rm -f "$smoke_json" "$clean_json" "$chaos_json"' EXIT
+trap 'rm -f "$smoke_json" "$clean_json" "$chaos_json" ${trace_json:+"$trace_json"} ${traced_run_json:+"$traced_run_json"}' EXIT
 dune exec bench/main.exe -- --scale quick --only f3 --jobs 2 \
   --json "$smoke_json" >/dev/null
 if command -v jq >/dev/null 2>&1; then
@@ -87,5 +96,22 @@ for plat in treadmarks ivy; do
     fi
   done
 done
+
+# Tracing smoke: a traced SOR run must produce a valid Chrome-trace file
+# (known event kinds, monotonic timestamps — `shmsim trace-check` is the
+# self-contained validator) and identical results to the untraced run.
+trace_json=$(mktemp)
+traced_run_json=$(mktemp)
+dune exec bin/shmsim.exe -- run -a sor -p treadmarks -n 4 --scale quick \
+  --trace "$trace_json" --json "$traced_run_json" >/dev/null
+dune exec bin/shmsim.exe -- trace-check "$trace_json"
+dune exec bin/shmsim.exe -- run -a sor -p treadmarks -n 4 --scale quick \
+  --json "$clean_json" >/dev/null
+if ! cmp -s "$clean_json" "$traced_run_json"; then
+  echo "ci: --trace perturbed the sor/treadmarks run" >&2
+  diff "$clean_json" "$traced_run_json" >&2 || true
+  exit 1
+fi
+rm -f "$trace_json" "$traced_run_json"
 
 echo "ci: OK"

@@ -15,6 +15,8 @@ module Registry = Shm_apps.Registry
 module Machines = Shm_platform.Machines
 module Platform = Shm_platform.Platform
 module Report = Shm_platform.Report
+module Instrument = Shm_platform.Instrument
+module Trace = Shm_sim.Trace
 module Fabric = Shm_net.Fabric
 module Table = Shm_stats.Table
 module Pool = Shm_runner.Pool
@@ -148,6 +150,20 @@ let json_arg =
         ~doc:"Also write the results (including the resolved fault policy \
               and reliability counters) as JSON to $(docv).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Write a Chrome-trace JSON timeline of the run to $(docv) \
+           (load in chrome://tracing or Perfetto): one track per simulated \
+           processor and protocol daemon with spans per time category, plus \
+           instant events for faults, retransmissions and invalidations.  \
+           Requires a single $(b,--procs) count.  Tracing never perturbs \
+           the simulation: cycles, messages and checksums are identical \
+           with and without it.")
+
 let faults_of ~drop ~dup ~jitter ~seed =
   { Fabric.no_faults with
     Fabric.drop_miss = drop;
@@ -210,11 +226,25 @@ let with_pool jobs f =
 
 let run_cmd =
   let run app_name platform_name procs scale stats jobs drop dup jitter seed
-      max_cycles json =
+      max_cycles json trace_path =
     let app = Registry.app ~scale app_name in
     let faults = faults_of ~drop ~dup ~jitter ~seed in
+    let trace =
+      match trace_path with
+      | None -> None
+      | Some _ when List.length procs <> 1 ->
+          Printf.eprintf
+            "shmsim: --trace records one run; give a single --procs count\n";
+          exit 2
+      | Some path -> Some (path, Trace.create ())
+    in
+    let instrument =
+      match trace with
+      | None -> Instrument.off
+      | Some (_, tr) -> Instrument.with_trace tr
+    in
     let platform =
-      try Machines.get ~faults ?max_cycles platform_name
+      try Machines.get ~faults ?max_cycles ~instrument platform_name
       with Invalid_argument msg ->
         Printf.eprintf "shmsim: %s\n" msg;
         exit 2
@@ -275,13 +305,19 @@ let run_cmd =
       (fun path ->
         write_run_json path ~app:app.name ~platform:platform.Platform.name
           ~scale:(Registry.scale_name scale) ~faults (List.rev !results))
-      json
+      json;
+    Option.iter
+      (fun (path, tr) ->
+        Trace.write_chrome_file tr path ~clock_mhz:platform.Platform.clock_mhz;
+        Printf.printf "trace: %d spans, %d instants -> %s\n"
+          (Trace.span_count tr) (Trace.instant_count tr) path)
+      trace
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an application on a platform model")
     Term.(
       const run $ app_arg $ platform_arg $ procs_arg $ scale_arg $ stats_arg
       $ jobs_arg $ drop_arg $ dup_arg $ jitter_arg $ fault_seed_arg
-      $ max_cycles_arg $ json_arg)
+      $ max_cycles_arg $ json_arg $ trace_arg)
 
 let list_cmd =
   let list () =
@@ -349,12 +385,103 @@ let compare_cmd =
        ~doc:"Run one application on every software-DSM variant and the SGI")
     Term.(const compare $ app_arg $ procs_arg $ scale_arg $ jobs_arg)
 
+(* Self-contained validator for the files [--trace] writes.  The writer
+   emits one JSON object per line (see Shm_sim.Trace), so the checks are
+   line-based and need no JSON parser: known "ph" kinds only, "ts" values
+   monotonically non-decreasing, at least one complete span. *)
+let trace_check_cmd =
+  let check path =
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Printf.eprintf "trace-check: %s: %s\n" path msg;
+          exit 1)
+        fmt
+    in
+    let lines =
+      try
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let rec go acc =
+              match input_line ic with
+              | line -> go (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            go [])
+      with Sys_error e -> fail "%s" e
+    in
+    (match lines with
+    | first :: _ when String.length first >= 15
+                      && String.sub first 0 15 = "{\"traceEvents\":" -> ()
+    | _ -> fail "missing {\"traceEvents\": header");
+    let field line name =
+      let marker = Printf.sprintf "\"%s\":" name in
+      let mlen = String.length marker in
+      let rec scan i =
+        if i + mlen > String.length line then None
+        else if String.sub line i mlen = marker then
+          let stop = ref (i + mlen) in
+          while
+            !stop < String.length line
+            && not (List.mem line.[!stop] [ ','; '}' ])
+          do
+            incr stop
+          done;
+          Some (String.sub line (i + mlen) (!stop - i - mlen))
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let spans = ref 0 and events = ref 0 and last_ts = ref neg_infinity in
+    List.iteri
+      (fun lineno line ->
+        match field line "ph" with
+        | None -> () (* header / footer lines carry no event *)
+        | Some ph -> (
+            incr events;
+            (match ph with
+            | "\"X\"" -> incr spans
+            | "\"i\"" | "\"M\"" -> ()
+            | other -> fail "line %d: unknown event kind %s" (lineno + 1) other);
+            match field line "ts" with
+            | None ->
+                if ph <> "\"M\"" then
+                  fail "line %d: %s event without \"ts\"" (lineno + 1) ph
+            | Some ts_text -> (
+                match float_of_string_opt ts_text with
+                | None ->
+                    fail "line %d: unreadable \"ts\":%s" (lineno + 1) ts_text
+                | Some ts ->
+                    if ts < !last_ts then
+                      fail
+                        "line %d: timestamp %g goes backwards (previous %g)"
+                        (lineno + 1) ts !last_ts;
+                    last_ts := ts)))
+      lines;
+    if !spans = 0 then fail "no complete (\"ph\":\"X\") spans";
+    Printf.printf
+      "trace-check: %s: %d events (%d spans), timestamps monotonic\n" path
+      !events !spans
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome-trace JSON written by --trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a Chrome-trace file written by $(b,run --trace)")
+    Term.(const check $ path_arg)
+
 let main =
   Cmd.group
     (Cmd.info "shmsim" ~version:"1.0"
        ~doc:
          "Software vs. hardware shared-memory implementation: simulation \
           models from Cox et al., ISCA 1994")
-    [ run_cmd; list_cmd; compare_cmd ]
+    [ run_cmd; list_cmd; compare_cmd; trace_check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -10,7 +10,29 @@ module Iset = Set.Make (Int)
 
 type page_access = Invalid | Read | Write
 
+let access_name = function
+  | Invalid -> "Invalid"
+  | Read -> "Read"
+  | Write -> "Write"
+
 type pending_txn = { kind : page_access; requester : int; req : int }
+
+exception
+  Proto_error of {
+    page : int;
+    requester : int;
+    manager : int;
+    state : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Proto_error { page; requester; manager; state } ->
+        Some
+          (Printf.sprintf
+             "Ivy.Proto_error: page %d, requester %d, manager %d: %s" page
+             requester manager state)
+    | _ -> None)
 
 (* Manager-side record for a page it manages. *)
 type mpage = {
@@ -141,7 +163,9 @@ let drain_steal fiber nd =
   let s = !(nd.steal) in
   if s > 0 then begin
     nd.steal := 0;
-    Engine.advance fiber s
+    (* Handler CPU time charged to the application is protocol overhead. *)
+    Engine.with_category fiber Engine.Protocol (fun () ->
+        Engine.advance fiber s)
   end
 
 let page_data t nd page =
@@ -186,7 +210,27 @@ and mgr_start_txn t fiber mgr page (txn : pending_txn) =
             deliver t fiber ~src:mgr.id ~dst
               (Proto.Invalidate { page; req = txn.req }))
           invals
-  | Invalid -> assert false
+  | Invalid ->
+      (* A transaction can only be created by a Read_req or Write_req; an
+         Invalid kind reaching the manager means a corrupted request (e.g.
+         a protocol bug surfaced by a chaos schedule).  Raise a diagnosable
+         error instead of Assert_failure. *)
+      raise
+        (Proto_error
+           {
+             page;
+             requester = txn.requester;
+             manager = mgr.id;
+             state =
+               Printf.sprintf
+                 "transaction kind %s (req %d); manager state: owner=%d \
+                  copyset={%s} busy=%b acks_waited=%d queued=%d"
+                 (access_name txn.kind) txn.req mp.owner
+                 (String.concat ","
+                    (List.map string_of_int (Iset.elements mp.copyset)))
+                 mp.busy mp.acks_waited
+                 (Queue.length mp.waiting);
+           })
 
 and mgr_proceed_write t fiber mgr page =
   let mp = Hashtbl.find mgr.mpages page in
@@ -291,6 +335,7 @@ and dispatch t fiber nd ~src body =
       Counters.incr t.counters "ivy.page_transfers"
   | Proto.Invalidate { page; req } ->
       set_access nd page Invalid;
+      Engine.instant fiber "ivy.invalidate";
       deliver t fiber ~src:nd.id ~dst:(manager_of t page)
         (Proto.Inval_ack { page; req })
   | Proto.Inval_ack { page; _ } ->
@@ -313,16 +358,20 @@ and dispatch t fiber nd ~src body =
 let handler_loop t nd fiber =
   let ov = overhead t in
   let rec loop () =
-    let env = Reliable.recv t.net fiber ~node:nd.id in
-    Engine.advance fiber ov.handler;
-    (* CPU time spent serving: charged back to the application unless the
-       message completes one of its own waits. *)
-    (match env.Msg.body with
-    | Proto.Page_copy _ | Proto.Page_grant _ | Proto.Lock_grant _
-    | Proto.Barrier_depart _ ->
-        ()
-    | _ -> nd.steal := !(nd.steal) + ov.handler + ov.fixed_recv);
-    dispatch t fiber nd ~src:env.Msg.src env.Msg.body;
+    let env =
+      Engine.with_category fiber Engine.Net_wait (fun () ->
+          Reliable.recv t.net fiber ~node:nd.id)
+    in
+    Engine.with_category fiber Engine.Protocol (fun () ->
+        Engine.advance fiber ov.handler;
+        (* CPU time spent serving: charged back to the application unless
+           the message completes one of its own waits. *)
+        (match env.Msg.body with
+        | Proto.Page_copy _ | Proto.Page_grant _ | Proto.Lock_grant _
+        | Proto.Barrier_depart _ ->
+            ()
+        | _ -> nd.steal := !(nd.steal) + ov.handler + ov.fixed_recv);
+        dispatch t fiber nd ~src:env.Msg.src env.Msg.body);
     loop ()
   in
   loop ()
@@ -355,16 +404,21 @@ let fault t fiber nd page (kind : page_access) =
   let rec wait_turn () =
     match Hashtbl.find_opt nd.inflight page with
     | Some wq when not (satisfied ()) ->
-        Waitq.wait fiber wq;
+        (* Another co-located processor is fetching this page. *)
+        Engine.with_category fiber Engine.Net_wait (fun () ->
+            Waitq.wait fiber wq);
         wait_turn ()
     | Some _ | None -> ()
   in
   wait_turn ();
-  if not (satisfied ()) then begin
+  if not (satisfied ()) then
+  Engine.with_category fiber Engine.Protocol @@ fun () ->
+  begin
     let wq = Waitq.create t.eng in
     Hashtbl.replace nd.inflight page wq;
     Counters.incr t.counters
       (if want_write then "ivy.write_faults" else "ivy.read_faults");
+    Engine.instant fiber "ivy.fault";
     Engine.advance fiber (overhead t).handler;
     let req = fresh_req nd in
     let mb = register_req t nd req in
@@ -374,7 +428,10 @@ let fault t fiber nd page (kind : page_access) =
       else Proto.Read_req { page; requester = nd.id; req }
     in
     deliver t fiber ~src:nd.id ~dst:mgr body;
-    (match Mailbox.recv fiber mb with
+    (match
+       Engine.with_category fiber Engine.Net_wait (fun () ->
+           Mailbox.recv fiber mb)
+     with
     | Proto.Page_copy { data; _ } ->
         install_page t fiber nd page data;
         set_access nd page Read
@@ -454,12 +511,16 @@ let acquire t fiber ~node ~lock =
   let nd = t.nodes.(node) in
   Engine.sync fiber;
   drain_steal fiber nd;
+  Engine.with_category fiber Engine.Protocol @@ fun () ->
   let req = fresh_req nd in
   let mb = register_req t nd req in
   deliver t fiber ~src:nd.id
     ~dst:(lock_manager_of t lock)
     (Proto.Lock_req { lock; requester = nd.id; req });
-  (match Mailbox.recv fiber mb with
+  (match
+     Engine.with_category fiber Engine.Lock_wait (fun () ->
+         Mailbox.recv fiber mb)
+   with
   | Proto.Lock_grant _ -> ()
   | _ -> failwith "ivy: unexpected lock response");
   Hashtbl.remove nd.pending_reqs req;
@@ -469,19 +530,24 @@ let release t fiber ~node ~lock =
   let nd = t.nodes.(node) in
   Engine.sync fiber;
   drain_steal fiber nd;
-  deliver t fiber ~src:nd.id
-    ~dst:(lock_manager_of t lock)
-    (Proto.Unlock { lock; requester = nd.id })
+  Engine.with_category fiber Engine.Protocol (fun () ->
+      deliver t fiber ~src:nd.id
+        ~dst:(lock_manager_of t lock)
+        (Proto.Unlock { lock; requester = nd.id }))
 
 let barrier_arrive t fiber ~node ~id =
   let nd = t.nodes.(node) in
   Engine.sync fiber;
   drain_steal fiber nd;
+  Engine.with_category fiber Engine.Protocol @@ fun () ->
   let req = fresh_req nd in
   let mb = register_req t nd req in
   deliver t fiber ~src:nd.id ~dst:0
     (Proto.Barrier_arrive { barrier = id; node = nd.id; req });
-  (match Mailbox.recv fiber mb with
+  (match
+     Engine.with_category fiber Engine.Barrier_wait (fun () ->
+         Mailbox.recv fiber mb)
+   with
   | Proto.Barrier_depart _ -> ()
   | _ -> failwith "ivy: unexpected barrier response");
   Hashtbl.remove nd.pending_reqs req

@@ -18,6 +18,20 @@
 
 type t
 
+(** Raised when a protocol message violates the manager's page state
+    machine (e.g. a transaction with an [Invalid] access kind, which no
+    well-formed request produces).  Carries the page, the requesting node,
+    the manager node, and a rendered manager-state description, so a
+    protocol bug surfaced under a chaos schedule is diagnosable from the
+    exception alone (a [Printexc] printer is registered). *)
+exception
+  Proto_error of {
+    page : int;
+    requester : int;
+    manager : int;
+    state : string;
+  }
+
 val create :
   Shm_sim.Engine.t ->
   Shm_stats.Counters.t ->

@@ -81,6 +81,7 @@ let port_use t fiber ~node ~cycles =
 (* An eviction notifies the home so the directory stays exact for E/M
    lines; dirty data travels back. *)
 let evict t fiber ~node victim =
+  Engine.with_category fiber Engine.Mem_stall @@ fun () ->
   match victim with
   | None -> ()
   | Some (vblock, vstate) -> (
@@ -126,6 +127,7 @@ let charge_fetch t fiber ~node ~home ~port ~cycles =
    occupancy) can let competing transactions in, so the directory entry is
    re-read after every yield and the transaction retried on interference. *)
 let rec fetch_for_read t fiber ~node block =
+  Engine.with_category fiber Engine.Mem_stall @@ fun () ->
   let cache = t.caches.(node) in
   let home = home_of t block in
   let local = home = node in
@@ -186,6 +188,7 @@ let read t fiber ~node addr =
 (* Make the directory entry [Owned_by node], invalidating other copies.
    Postcondition holds with no yield after the final state change. *)
 let rec acquire_exclusive t fiber ~node block =
+  Engine.with_category fiber Engine.Mem_stall @@ fun () ->
   let home = home_of t block in
   let local = home = node in
   match entry_of t block with
@@ -229,6 +232,7 @@ let rec acquire_exclusive t fiber ~node block =
 
 (* Obtain a Modified copy; atomic from the last internal yield. *)
 let rec ensure_modified t fiber ~node block =
+  Engine.with_category fiber Engine.Mem_stall @@ fun () ->
   let cache = t.caches.(node) in
   match Cache.state_of cache block with
   | Cache.Modified -> ()

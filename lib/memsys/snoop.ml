@@ -157,6 +157,7 @@ let handle_eviction t fiber ~cpu victim =
    snoop, the occupancy claim and the fill are one atomic transaction. *)
 let bus_read t fiber ~cpu block ~exclusive =
   Engine.sync fiber;
+  Engine.with_category fiber Engine.Mem_stall @@ fun () ->
   Counters.incr t.counters (if exclusive then "bus.rdx" else "bus.rd");
   let supply =
     if exclusive then snoop_for_write t ~cpu block
@@ -179,6 +180,7 @@ let bus_read t fiber ~cpu block ~exclusive =
 (* Upgrade a Shared line to Modified (atomic after the initial sync). *)
 let bus_upgrade t fiber ~cpu block =
   Engine.sync fiber;
+  Engine.with_category fiber Engine.Mem_stall @@ fun () ->
   (match Cache.state_of t.coherents.(cpu) block with
   | Cache.Shared ->
       Counters.incr t.counters "bus.upgr";

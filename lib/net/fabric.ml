@@ -146,6 +146,7 @@ let send t fiber ~src ~dst ~class_ ~size body =
     (* The sender still paid the send overhead and occupies its transmit
        link — the packet left the host before the network lost it. *)
     Counters.incr t.counters "net.faults.dropped";
+    Engine.instant fiber (if blackout then "net.blackout" else "net.drop");
     if blackout then Counters.incr t.counters "net.faults.blackout";
     let tx_done = Resource.reserve t.tx.(src) ~ready:launch ~cycles in
     Engine.set_clock fiber tx_done
@@ -174,6 +175,7 @@ let send t fiber ~src ~dst ~class_ ~size body =
     deliver_one first_jitter;
     if dup then begin
       Counters.incr t.counters "net.faults.duplicated";
+      Engine.instant fiber "net.dup";
       deliver_one (jitter ())
     end
   end

@@ -210,7 +210,10 @@ let rec recv t fiber ~node =
 
 let retx_daemon t node fiber =
   let rec loop () =
-    (match Mailbox.recv fiber t.cmds.(node) with
+    (match
+       Engine.with_category fiber Engine.Net_wait (fun () ->
+           Mailbox.recv fiber t.cmds.(node))
+     with
     | Retx { peer; seq } -> (
         let l = t.links.(node).(peer) in
         match Hashtbl.find_opt l.unacked seq with
@@ -222,10 +225,12 @@ let retx_daemon t node fiber =
                 (Peer_unreachable
                    { src = node; dst = peer; seq; attempts = p.attempts });
             Counters.incr t.counters "net.retrans.total";
+            Engine.instant fiber "net.retransmit";
             l.ack_owed <- false;
-            Fabric.send t.fabric fiber ~src:node ~dst:peer ~class_:p.p_class
-              ~size:p.p_size
-              (Data { seq; ack = cumulative_ack l; body = p.p_body });
+            Engine.with_category fiber Engine.Protocol (fun () ->
+                Fabric.send t.fabric fiber ~src:node ~dst:peer
+                  ~class_:p.p_class ~size:p.p_size
+                  (Data { seq; ack = cumulative_ack l; body = p.p_body }));
             let backoff = base_timeout t ~size:p.p_size lsl p.attempts in
             Mailbox.post t.cmds.(node)
               ~at:(Engine.clock fiber + backoff)
@@ -233,7 +238,9 @@ let retx_daemon t node fiber =
     | Ack_due { peer } ->
         let l = t.links.(node).(peer) in
         l.ack_timer_armed <- false;
-        if l.ack_owed then send_ack t fiber ~src:node ~dst:peer);
+        if l.ack_owed then
+          Engine.with_category fiber Engine.Protocol (fun () ->
+              send_ack t fiber ~src:node ~dst:peer));
     loop ()
   in
   loop ()

@@ -4,9 +4,9 @@ module Memory = Shm_memsys.Memory
 module Directory = Shm_memsys.Directory
 module Parmacs = Shm_parmacs.Parmacs
 
-let make () =
+let make ?(instrument = Instrument.off) () =
   let run (app : Parmacs.app) ~nprocs =
-    let eng = Engine.create () in
+    let eng = Instrument.engine instrument in
     let counters = Counters.create () in
     let total_words = app.shared_words + Hw_sync.region_words in
     let mem = Memory.create ~words:total_words in
@@ -24,9 +24,9 @@ let make () =
     in
     let sync = Hw_sync.create eng access ~base:app.shared_words ~nprocs in
     let ends = Array.make nprocs 0 in
-    for cpu = 0 to nprocs - 1 do
-      ignore
-        (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:0 (fun f ->
+    let fibers =
+      Array.init nprocs (fun cpu ->
+        Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:0 (fun f ->
              let fcell = ref 0.0 in
              let ctx =
                {
@@ -60,9 +60,10 @@ let make () =
              in
              app.work ctx;
              ends.(cpu) <- Engine.clock f))
-    done;
+    in
     Engine.run eng;
     Directory.check_invariants machine;
+    Instrument.finish instrument counters fibers;
     {
       Report.platform = "AH";
       app = app.name;

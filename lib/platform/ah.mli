@@ -1,4 +1,5 @@
 (** The "All Hardware" design of paper Section 3: uniprocessor nodes on a
     crossbar with directory-based cache coherence (DASH/FLASH-like). *)
 
-val make : unit -> Platform.t
+(** [instrument] as in {!Dsm_cluster.dec}. *)
+val make : ?instrument:Instrument.t -> unit -> Platform.t

@@ -17,9 +17,10 @@ type level = User | Kernel
 let default_fault_watchdog = 200_000_000_000
 
 let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
-    ?max_cycles ~name ~clock_mhz ~max_procs ~fabric_of ~cache_cfg ~eager () =
+    ?max_cycles ?(instrument = Instrument.off) ~name ~clock_mhz ~max_procs
+    ~fabric_of ~cache_cfg ~eager () =
   let run (app : Parmacs.app) ~nprocs =
-    let eng = Engine.create () in
+    let eng = Instrument.engine instrument in
     let counters = Counters.create () in
     let fabric =
       Fabric.create eng counters
@@ -50,9 +51,9 @@ let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
           ~addr:(page * cfg.page_words) ~words:cfg.page_words);
     System.start sys;
     let ends = Array.make nprocs 0 in
-    for node = 0 to nprocs - 1 do
-      ignore
-        (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" node) ~at:0 (fun f ->
+    let fibers =
+      Array.init nprocs (fun node ->
+        Engine.spawn eng ~name:(Printf.sprintf "cpu%d" node) ~at:0 (fun f ->
              let mem = memories.(node) and pc = caches.(node) in
              (* Software-TLB fast path: one byte load decides whether the
                 guard call can be skipped (page readable / writable with
@@ -123,7 +124,7 @@ let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
              in
              app.work ctx;
              ends.(node) <- Engine.clock f))
-    done;
+    in
     let max_cycles =
       match max_cycles with
       | Some _ -> max_cycles
@@ -133,6 +134,7 @@ let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
     in
     Engine.run ?max_cycles ~diag:(fun () -> System.retx_note sys) eng;
     System.check_invariants sys;
+    Instrument.finish instrument counters fibers;
     {
       Report.platform = name;
       app = app.name;
@@ -146,7 +148,7 @@ let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
   { Platform.name; clock_mhz; max_procs; run }
 
 let dec ?(eager = false) ?(notice_policy = Config.Lazy) ?faults ?max_cycles
-    ~level () =
+    ?instrument ~level () =
   let overhead, suffix =
     match level with
     | User -> (Overhead.treadmarks_user, "user")
@@ -157,28 +159,30 @@ let dec ?(eager = false) ?(notice_policy = Config.Lazy) ?faults ?max_cycles
     | Config.Lazy -> suffix
     | Config.Eager_invalidate -> "erc"
   in
-  make ~notice_policy ?faults ?max_cycles
+  make ~notice_policy ?faults ?max_cycles ?instrument
     ~name:(Printf.sprintf "treadmarks-%s" suffix)
     ~clock_mhz:40.0 ~max_procs:8
     ~fabric_of:(fun () -> Fabric.atm_dec ~overhead)
     ~cache_cfg:Private_cache.dec_config ~eager ()
 
 let as_machine ?(eager = false) ?(overhead = Overhead.treadmarks_user) ?faults
-    ?max_cycles () =
-  make ?faults ?max_cycles ~name:"AS" ~clock_mhz:100.0 ~max_procs:256
+    ?max_cycles ?instrument () =
+  make ?faults ?max_cycles ?instrument ~name:"AS" ~clock_mhz:100.0
+    ~max_procs:256
     ~fabric_of:(fun () -> Fabric.atm_sim ~overhead)
     ~cache_cfg:Private_cache.sim_node_config ~eager ()
 
-let dec_plain () =
+let dec_plain ?(instrument = Instrument.off) () =
   let run (app : Parmacs.app) ~nprocs =
     if nprocs <> 1 then invalid_arg "dec_plain: uniprocessor only";
-    let eng = Engine.create () in
+    let eng = Instrument.engine instrument in
+    let counters = Counters.create () in
     let mem = Memory.create ~words:app.shared_words in
     app.init mem;
     let cache = Private_cache.create Private_cache.dec_config in
     let finish = ref 0 in
-    ignore
-      (Engine.spawn eng ~name:"cpu0" ~at:0 (fun f ->
+    let fiber =
+      Engine.spawn eng ~name:"cpu0" ~at:0 (fun f ->
            let fcell = ref 0.0 in
            let ctx =
              {
@@ -216,8 +220,10 @@ let dec_plain () =
              }
            in
            app.work ctx;
-           finish := Engine.clock f));
+           finish := Engine.clock f)
+    in
     Engine.run eng;
+    Instrument.finish instrument counters [| fiber |];
     {
       Report.platform = "dec";
       app = app.name;
@@ -225,7 +231,7 @@ let dec_plain () =
       cycles = !finish;
       clock_mhz = 40.0;
       checksum = Parmacs.checksum_of mem app;
-      counters = [];
+      counters = Counters.to_list counters;
     }
   in
   { Platform.name = "dec"; clock_mhz = 40.0; max_procs = 1; run }

@@ -18,12 +18,16 @@ type level = User | Kernel
     fault injection on the ATM fabric (the DSM then runs over
     {!Shm_net.Reliable}); [max_cycles] bounds the run with
     {!Shm_sim.Engine.Watchdog} — fault-mode runs default to a generous
-    backstop so a retransmission livelock cannot hang forever. *)
+    backstop so a retransmission livelock cannot hang forever;
+    [instrument] enables the per-fiber time breakdown (and optional
+    Chrome-trace capture) — when left at {!Instrument.off} the run is
+    byte-identical to an uninstrumented one. *)
 val dec :
   ?eager:bool ->
   ?notice_policy:Shm_tmk.Config.notice_policy ->
   ?faults:Shm_net.Fabric.faults ->
   ?max_cycles:int ->
+  ?instrument:Instrument.t ->
   level:level ->
   unit ->
   Platform.t
@@ -33,8 +37,9 @@ val as_machine :
   ?overhead:Shm_net.Overhead.t ->
   ?faults:Shm_net.Fabric.faults ->
   ?max_cycles:int ->
+  ?instrument:Instrument.t ->
   unit ->
   Platform.t
 
 (** Plain DECstation: valid only for [nprocs = 1]. *)
-val dec_plain : unit -> Platform.t
+val dec_plain : ?instrument:Instrument.t -> unit -> Platform.t

@@ -10,12 +10,12 @@ module System = Shm_tmk.System
 module Parmacs = Shm_parmacs.Parmacs
 
 let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
-    ?(eager = false) () =
+    ?(eager = false) ?(instrument = Instrument.off) () =
   let name = Printf.sprintf "HS%d" node_cpus in
   let run (app : Parmacs.app) ~nprocs =
     let n_nodes = (nprocs + node_cpus - 1) / node_cpus in
     let cpus_of_node n = min node_cpus (nprocs - (n * node_cpus)) in
-    let eng = Engine.create () in
+    let eng = Instrument.engine instrument in
     let counters = Counters.create () in
     let fabric =
       Fabric.create eng counters (Fabric.atm_sim ~overhead) ~nodes:n_nodes
@@ -67,6 +67,7 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
           wq
     in
     let node_barrier f ~node ~cpu b =
+      Engine.with_category f Engine.Barrier_wait @@ fun () ->
       let m = machines.(node) in
       let arrived =
         Int64.to_int (Snoop.rmw m f ~cpu (counter_addr b) Int64.succ) + 1
@@ -83,11 +84,11 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
       end
     in
     let ends = Array.make nprocs 0 in
-    for p = 0 to nprocs - 1 do
-      let node = p / node_cpus in
-      let cpu = p mod node_cpus in
-      ignore
-        (Engine.spawn eng ~name:(Printf.sprintf "n%dc%d" node cpu) ~at:0
+    let fibers =
+      Array.init nprocs (fun p ->
+        let node = p / node_cpus in
+        let cpu = p mod node_cpus in
+        Engine.spawn eng ~name:(Printf.sprintf "n%dc%d" node cpu) ~at:0
            (fun f ->
              let machine = machines.(node) in
              let read addr =
@@ -133,7 +134,7 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
              in
              app.work ctx;
              ends.(p) <- Engine.clock f))
-    done;
+    in
     (try Engine.run eng
      with Shm_sim.Engine.Deadlock _ as e ->
        if Sys.getenv_opt "TMKDBG_LOCKS" <> None then
@@ -141,6 +142,7 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
            Printf.eprintf "lock %d: %s\n" l (System.dump_lock sys ~lock:l)
          done;
        raise e);
+    Instrument.finish instrument counters fibers;
     {
       Report.platform = name;
       app = app.name;

@@ -11,5 +11,6 @@ val make :
   ?node_cpus:int ->
   ?overhead:Shm_net.Overhead.t ->
   ?eager:bool ->
+  ?instrument:Instrument.t ->
   unit ->
   Platform.t

@@ -48,7 +48,13 @@ let counter_addr t b =
 
 let generation_addr t b = t.base + max_locks + max_barriers + b
 
+(* Cycles inside lock/barrier are charged to the corresponding wait
+   category; the rmw's bus/directory transactions re-scope themselves to
+   [Mem_stall] underneath (innermost scope wins), so the wait categories
+   capture parked time plus the synchronization variables' hit cycles. *)
+
 let rec lock t fiber ~cpu l =
+  Engine.with_category fiber Engine.Lock_wait @@ fun () ->
   let old = t.access.rmw fiber ~cpu (lock_addr t l) (fun _ -> 1L) in
   if old <> 0L then begin
     Waitq.wait fiber (waitq t.lock_waiters t.eng l);
@@ -56,10 +62,12 @@ let rec lock t fiber ~cpu l =
   end
 
 let unlock t fiber ~cpu l =
+  Engine.with_category fiber Engine.Lock_wait @@ fun () ->
   ignore (t.access.rmw fiber ~cpu (lock_addr t l) (fun _ -> 0L));
   ignore (Waitq.wake_one (waitq t.lock_waiters t.eng l) ~at:(Engine.clock fiber))
 
 let barrier t fiber ~cpu b =
+  Engine.with_category fiber Engine.Barrier_wait @@ fun () ->
   let arrived =
     Int64.to_int (t.access.rmw fiber ~cpu (counter_addr t b) Int64.succ) + 1
   in

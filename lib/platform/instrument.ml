@@ -1,0 +1,35 @@
+module Engine = Shm_sim.Engine
+module Trace = Shm_sim.Trace
+module Counters = Shm_stats.Counters
+
+type t = { breakdown : bool; trace : Trace.t option }
+
+let off = { breakdown = false; trace = None }
+let breakdown_only = { breakdown = true; trace = None }
+let with_trace tr = { breakdown = true; trace = Some tr }
+
+let active t = t.breakdown || t.trace <> None
+
+let engine t =
+  Engine.create ~instrument:(active t)
+    ?tracer:(Option.map Trace.tracer t.trace)
+    ()
+
+(* Post-run hook for platform drivers: verify the attribution invariant on
+   every application fiber and fold the per-category totals into ["time.*"]
+   counters.  All categories are emitted (zeros included) so consumers can
+   rely on the full name set; daemon fibers (protocol handlers,
+   retransmission timers) are checked by the engine-level tests but excluded
+   from the aggregate, which covers processor time like the paper's
+   breakdowns.  A no-op when instrumentation is off, keeping counter output
+   byte-identical. *)
+let finish t counters fibers =
+  if active t then
+    Array.iter
+      (fun f ->
+        Engine.check_attribution f;
+        List.iter
+          (fun (cat, cycles) ->
+            Counters.add counters ("time." ^ Engine.category_name cat) cycles)
+          (Engine.breakdown f))
+      fibers

@@ -1,0 +1,27 @@
+(** Per-run instrumentation selector threaded through platform
+    constructors ([?instrument], default {!off}).
+
+    [breakdown] turns on per-fiber execution-time attribution (surfaced as
+    ["time.<category>"] counters in the run report); [trace] additionally
+    streams segments and instant events into a {!Shm_sim.Trace} buffer for
+    Chrome-trace export.  With {!off} the engine is uninstrumented and runs
+    are byte-identical to an uninstrumented build. *)
+
+type t = { breakdown : bool; trace : Shm_sim.Trace.t option }
+
+val off : t
+val breakdown_only : t
+val with_trace : Shm_sim.Trace.t -> t
+
+val active : t -> bool
+
+(** [engine t] is the [Engine.create] call matching this selector. *)
+val engine : t -> Shm_sim.Engine.t
+
+(** [finish t counters fibers] runs [Engine.check_attribution] on each
+    fiber (the sum invariant) and accumulates ["time.*"] counters — all
+    categories, zeros included — aggregated over [fibers].  No-op when
+    [not (active t)].
+    @raise Failure if any fiber's category totals do not sum to its
+    elapsed clock. *)
+val finish : t -> Shm_stats.Counters.t -> Shm_sim.Engine.fiber array -> unit

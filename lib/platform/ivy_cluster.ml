@@ -12,9 +12,10 @@ let page_words = 512
 (* See dsm_cluster.ml: watchdog backstop for fault-mode runs. *)
 let default_fault_watchdog = 200_000_000_000
 
-let make ?(faults = Shm_net.Fabric.no_faults) ?max_cycles () =
+let make ?(faults = Shm_net.Fabric.no_faults) ?max_cycles
+    ?(instrument = Instrument.off) () =
   let run (app : Parmacs.app) ~nprocs =
-    let eng = Engine.create () in
+    let eng = Instrument.engine instrument in
     let counters = Counters.create () in
     let fabric =
       Fabric.create eng counters
@@ -40,9 +41,9 @@ let make ?(faults = Shm_net.Fabric.no_faults) ?max_cycles () =
           ~words:page_words);
     Ivy.start sys;
     let ends = Array.make nprocs 0 in
-    for node = 0 to nprocs - 1 do
-      ignore
-        (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" node) ~at:0 (fun f ->
+    let fibers =
+      Array.init nprocs (fun node ->
+        Engine.spawn eng ~name:(Printf.sprintf "cpu%d" node) ~at:0 (fun f ->
              let mem = memories.(node) and pc = caches.(node) in
              (* Software-TLB fast path: skip the guard when the rights byte
                 already grants the access (see dsm_cluster.ml). *)
@@ -103,7 +104,7 @@ let make ?(faults = Shm_net.Fabric.no_faults) ?max_cycles () =
              in
              app.work ctx;
              ends.(node) <- Engine.clock f))
-    done;
+    in
     let max_cycles =
       match max_cycles with
       | Some _ -> max_cycles
@@ -113,6 +114,7 @@ let make ?(faults = Shm_net.Fabric.no_faults) ?max_cycles () =
     in
     Engine.run ?max_cycles ~diag:(fun () -> Ivy.retx_note sys) eng;
     Ivy.check_invariants sys;
+    Instrument.finish instrument counters fibers;
     {
       Report.platform = "ivy";
       app = app.name;

@@ -3,6 +3,10 @@
     that lazy release consistency was designed to improve on (an ablation
     beyond the paper's own comparisons; see DESIGN.md). *)
 
-(** [faults] / [max_cycles] as in {!Dsm_cluster.dec}. *)
+(** [faults] / [max_cycles] / [instrument] as in {!Dsm_cluster.dec}. *)
 val make :
-  ?faults:Shm_net.Fabric.faults -> ?max_cycles:int -> unit -> Platform.t
+  ?faults:Shm_net.Fabric.faults ->
+  ?max_cycles:int ->
+  ?instrument:Instrument.t ->
+  unit ->
+  Platform.t

@@ -19,33 +19,35 @@ let reject_faults name faults =
            (String.concat ", " fault_capable))
   | _ -> ()
 
-let get ?faults ?max_cycles name =
+let get ?faults ?max_cycles ?instrument name =
   match name with
   | "dec" ->
       reject_faults name faults;
-      Dsm_cluster.dec_plain ()
+      Dsm_cluster.dec_plain ?instrument ()
   | "treadmarks" ->
-      Dsm_cluster.dec ?faults ?max_cycles ~level:Dsm_cluster.User ()
+      Dsm_cluster.dec ?faults ?max_cycles ?instrument ~level:Dsm_cluster.User ()
   | "treadmarks-kernel" ->
-      Dsm_cluster.dec ?faults ?max_cycles ~level:Dsm_cluster.Kernel ()
+      Dsm_cluster.dec ?faults ?max_cycles ?instrument ~level:Dsm_cluster.Kernel
+        ()
   | "treadmarks-eager" ->
-      Dsm_cluster.dec ?faults ?max_cycles ~eager:true ~level:Dsm_cluster.User ()
+      Dsm_cluster.dec ?faults ?max_cycles ?instrument ~eager:true
+        ~level:Dsm_cluster.User ()
   | "treadmarks-erc" ->
-      Dsm_cluster.dec ?faults ?max_cycles
+      Dsm_cluster.dec ?faults ?max_cycles ?instrument
         ~notice_policy:Shm_tmk.Config.Eager_invalidate ~level:Dsm_cluster.User
         ()
-  | "ivy" -> Ivy_cluster.make ?faults ?max_cycles ()
+  | "ivy" -> Ivy_cluster.make ?faults ?max_cycles ?instrument ()
   | "sgi" ->
       reject_faults name faults;
-      Sgi.make ()
+      Sgi.make ?instrument ()
   | "sgi-fast" ->
       reject_faults name faults;
-      Sgi.make_fast ()
-  | "as" -> Dsm_cluster.as_machine ?faults ?max_cycles ()
+      Sgi.make_fast ?instrument ()
+  | "as" -> Dsm_cluster.as_machine ?faults ?max_cycles ?instrument ()
   | "ah" ->
       reject_faults name faults;
-      Ah.make ()
+      Ah.make ?instrument ()
   | "hs" ->
       reject_faults name faults;
-      Hs.make ()
+      Hs.make ?instrument ()
   | name -> invalid_arg (Printf.sprintf "unknown platform %S" name)

@@ -14,8 +14,13 @@ val fault_capable : string list
     {!Shm_sim.Engine.Watchdog} (fault-mode runs get a generous default
     backstop).  Both are only meaningful on {!fault_capable} platforms —
     the hardware platforms model reliable interconnects and refuse an
-    active policy.
+    active policy.  [instrument] enables the per-fiber time breakdown and
+    optional Chrome-trace capture on any platform (see {!Instrument}).
     @raise Invalid_argument for an unknown name, or for an active fault
     policy on a hardware platform. *)
 val get :
-  ?faults:Shm_net.Fabric.faults -> ?max_cycles:int -> string -> Platform.t
+  ?faults:Shm_net.Fabric.faults ->
+  ?max_cycles:int ->
+  ?instrument:Instrument.t ->
+  string ->
+  Platform.t

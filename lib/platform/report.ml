@@ -13,9 +13,16 @@ let seconds t = float_of_int t.cycles /. (t.clock_mhz *. 1e6)
 let get t name =
   Option.value ~default:0 (List.assoc_opt name t.counters)
 
-let rate t name = float_of_int (get t name) /. seconds t
+(* An empty or degenerate run (0 cycles) must not leak NaN/inf into JSON
+   output — JSON has no encoding for them, so a consumer would see a parse
+   error far from the cause.  Both guards report 0.0 instead. *)
+let rate t name =
+  let s = seconds t in
+  if s <= 0.0 then 0.0 else float_of_int (get t name) /. s
 
-let speedup ~base t = float_of_int base.cycles /. float_of_int t.cycles
+let speedup ~base t =
+  if t.cycles <= 0 then 0.0
+  else float_of_int base.cycles /. float_of_int t.cycles
 
 let offered t = get t "net.msgs.offered"
 let delivered t = get t "net.msgs.delivered"
@@ -31,6 +38,20 @@ let fault_summary t =
     (offered t) (delivered t) (dropped t) (duplicated t) (retransmissions t)
     (dups_suppressed t)
     (get t "net.reliable.acks")
+
+let breakdown t =
+  List.filter_map
+    (fun cat ->
+      let name = "time." ^ Shm_sim.Engine.category_name cat in
+      Option.map (fun v -> (cat, v)) (List.assoc_opt name t.counters))
+    Shm_sim.Engine.categories
+
+let consumed_names =
+  [
+    "net.msgs.offered"; "net.msgs.delivered"; "net.faults.dropped";
+    "net.faults.duplicated"; "net.retrans.total"; "net.reliable.dups";
+    "net.reliable.acks";
+  ]
 
 let pp ppf t =
   Format.fprintf ppf "%s/%s p=%d: %.4f s (%d cycles), checksum=%.6g"

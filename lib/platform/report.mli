@@ -15,12 +15,24 @@ val seconds : t -> float
 (** [get t name] is a counter value ([0] if absent). *)
 val get : t -> string -> int
 
-(** [rate t name] is the counter per simulated second. *)
+(** [rate t name] is the counter per simulated second; [0.0] when the run
+    covered no simulated time (never NaN/inf). *)
 val rate : t -> string -> float
 
 (** [speedup ~base t] is [base.cycles / t.cycles] (base is usually the
-    1-processor run). *)
+    1-processor run); [0.0] when [t] ran for no cycles (never inf). *)
 val speedup : base:t -> t -> float
+
+(** The execution-time breakdown of an instrumented run: cycles attributed
+    to each {!Shm_sim.Engine.category}, summed over the application
+    processors (the [time.*] counters).  Empty when the run was not
+    instrumented. *)
+val breakdown : t -> (Shm_sim.Engine.category * int) list
+
+(** Every counter name the accessors below read — the counter-name audit
+    test checks each is actually emitted by the subsystems, so a renamed
+    counter cannot silently start reading 0. *)
+val consumed_names : string list
 
 (** {2 Fault-injection / reliability counters}
 

@@ -4,9 +4,9 @@ module Memory = Shm_memsys.Memory
 module Snoop = Shm_memsys.Snoop
 module Parmacs = Shm_parmacs.Parmacs
 
-let run_on_snoop ~platform_name ~clock_mhz ~config_of (app : Parmacs.app)
-    ~nprocs =
-  let eng = Engine.create () in
+let run_on_snoop ?(instrument = Instrument.off) ~platform_name ~clock_mhz
+    ~config_of (app : Parmacs.app) ~nprocs =
+  let eng = Instrument.engine instrument in
   let counters = Counters.create () in
   let total_words = app.shared_words + Hw_sync.region_words in
   let mem = Memory.create ~words:total_words in
@@ -20,9 +20,9 @@ let run_on_snoop ~platform_name ~clock_mhz ~config_of (app : Parmacs.app)
   in
   let sync = Hw_sync.create eng access ~base:app.shared_words ~nprocs in
   let ends = Array.make nprocs 0 in
-  for cpu = 0 to nprocs - 1 do
-    ignore
-      (Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:0 (fun f ->
+  let fibers =
+    Array.init nprocs (fun cpu ->
+      Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:0 (fun f ->
            let fcell = ref 0.0 in
            let ctx =
              {
@@ -53,9 +53,10 @@ let run_on_snoop ~platform_name ~clock_mhz ~config_of (app : Parmacs.app)
            in
            app.work ctx;
            ends.(cpu) <- Engine.clock f))
-  done;
+  in
   Engine.run eng;
   Snoop.check_coherence machine;
+  Instrument.finish instrument counters fibers;
   {
     Report.platform = platform_name;
     app = app.name;
@@ -66,13 +67,13 @@ let run_on_snoop ~platform_name ~clock_mhz ~config_of (app : Parmacs.app)
     counters = Counters.to_list counters;
   }
 
-let make () =
+let make ?(instrument = Instrument.off) () =
   {
     Platform.name = "sgi-4d480";
     clock_mhz = 40.0;
     max_procs = 8;
     run =
-      run_on_snoop ~platform_name:"sgi-4d480" ~clock_mhz:40.0
+      run_on_snoop ~instrument ~platform_name:"sgi-4d480" ~clock_mhz:40.0
         ~config_of:(fun ~n_cpus -> Snoop.sgi_config ~n_cpus);
   }
 
@@ -80,7 +81,7 @@ let make () =
    speed of the processors, are necessary to overcome the bandwidth
    limitation on the SGI."  This variant doubles the sustained bus
    bandwidth and halves the snoop/upgrade occupancy (dual tags). *)
-let make_fast () =
+let make_fast ?(instrument = Instrument.off) () =
   let config_of ~n_cpus =
     let base = Snoop.sgi_config ~n_cpus in
     {
@@ -94,5 +95,7 @@ let make_fast () =
     Platform.name = "sgi-fastbus";
     clock_mhz = 40.0;
     max_procs = 8;
-    run = run_on_snoop ~platform_name:"sgi-fastbus" ~clock_mhz:40.0 ~config_of;
+    run =
+      run_on_snoop ~instrument ~platform_name:"sgi-fastbus" ~clock_mhz:40.0
+        ~config_of;
   }

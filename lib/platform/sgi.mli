@@ -1,8 +1,9 @@
 (** The SGI 4D/480 model: up to 8 processors with snooping (Illinois)
     cache coherence over a shared bus — the paper's hardware platform. *)
 
-val make : unit -> Platform.t
+(** [instrument] as in {!Dsm_cluster.dec}. *)
+val make : ?instrument:Instrument.t -> unit -> Platform.t
 
 (** The paper's Section-2.5 hypothetical: dual cache tags and a bus twice
     as fast relative to the processors. *)
-val make_fast : unit -> Platform.t
+val make_fast : ?instrument:Instrument.t -> unit -> Platform.t

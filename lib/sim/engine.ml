@@ -30,12 +30,71 @@ let () =
              (render_note note))
     | _ -> None)
 
+(* Execution-time attribution.  Every simulated cycle a fiber spends is
+   charged to exactly one category; [Compute] is the default and protocol
+   layers re-scope sections with [with_category].  The set mirrors the
+   paper's execution-time breakdowns (computation / protocol overhead /
+   idle waiting), refined per platform family. *)
+type category =
+  | Compute
+  | Protocol
+  | Net_wait
+  | Lock_wait
+  | Barrier_wait
+  | Diff
+  | Twin
+  | Mem_stall
+
+let categories =
+  [ Compute; Protocol; Net_wait; Lock_wait; Barrier_wait; Diff; Twin; Mem_stall ]
+
+let num_categories = 8
+
+let cat_index = function
+  | Compute -> 0
+  | Protocol -> 1
+  | Net_wait -> 2
+  | Lock_wait -> 3
+  | Barrier_wait -> 4
+  | Diff -> 5
+  | Twin -> 6
+  | Mem_stall -> 7
+
+let category_name = function
+  | Compute -> "compute"
+  | Protocol -> "protocol"
+  | Net_wait -> "net_wait"
+  | Lock_wait -> "lock_wait"
+  | Barrier_wait -> "barrier_wait"
+  | Diff -> "diff"
+  | Twin -> "twin"
+  | Mem_stall -> "mem_stall"
+
+let category_of_index = function
+  | 0 -> Compute
+  | 1 -> Protocol
+  | 2 -> Net_wait
+  | 3 -> Lock_wait
+  | 4 -> Barrier_wait
+  | 5 -> Diff
+  | 6 -> Twin
+  | 7 -> Mem_stall
+  | i -> invalid_arg (Printf.sprintf "Engine.category_of_index: %d" i)
+
+type tracer = {
+  trace_track : track:int -> name:string -> unit;
+  trace_segment : track:int -> cat:category -> start:int -> stop:int -> unit;
+  trace_instant : name:string -> track:int -> at:int -> unit;
+}
+
 type t = {
   queue : (unit -> unit) Pqueue.t;
   mutable time : int;
   mutable live : int;
   mutable next_fiber_id : int;
   blocked : (int, fiber) Hashtbl.t; (* suspended fibers, for deadlock reports *)
+  einstr : bool;
+  tracer : tracer option;
 }
 
 and fiber = {
@@ -43,6 +102,11 @@ and fiber = {
   fname : string;
   eng : t;
   daemon : bool;
+  instr : bool;
+  fstart : int;
+  acats : int array; (* per-category cycle totals; [||] when not instr *)
+  mutable fcat : int; (* index of the current category *)
+  mutable seg_start : int; (* clock at which the current trace segment began *)
   mutable fclock : int;
   mutable cont : (unit, unit) Effect.Deep.continuation option;
   mutable finished : bool;
@@ -52,9 +116,13 @@ type _ Effect.t +=
   | Yield : fiber -> unit Effect.t
   | Park : fiber -> unit Effect.t
 
-let create () =
+let create ?(instrument = false) ?tracer () =
   { queue = Pqueue.create (); time = 0; live = 0; next_fiber_id = 0;
-    blocked = Hashtbl.create 64 }
+    blocked = Hashtbl.create 64;
+    einstr = instrument || tracer <> None;
+    tracer }
+
+let instrumented t = t.einstr
 
 let now t = t.time
 
@@ -69,9 +137,66 @@ let name f = f.fname
 let id f = f.fid
 let engine f = f.eng
 
-let[@inline] advance f n = f.fclock <- f.fclock + n
+let[@inline] advance f n =
+  if f.instr then f.acats.(f.fcat) <- f.acats.(f.fcat) + n;
+  f.fclock <- f.fclock + n
 
-let set_clock f time = if time > f.fclock then f.fclock <- time
+let set_clock f time =
+  if time > f.fclock then begin
+    if f.instr then f.acats.(f.fcat) <- f.acats.(f.fcat) + (time - f.fclock);
+    f.fclock <- time
+  end
+
+(* Emit the open trace segment [seg_start, fclock) and start a new one. *)
+let flush_segment f =
+  (match f.eng.tracer with
+  | Some tr when f.fclock > f.seg_start ->
+      tr.trace_segment ~track:f.fid
+        ~cat:(category_of_index f.fcat)
+        ~start:f.seg_start ~stop:f.fclock
+  | Some _ | None -> ());
+  f.seg_start <- f.fclock
+
+let set_category f cat =
+  if f.instr then begin
+    let i = cat_index cat in
+    if i <> f.fcat then begin
+      flush_segment f;
+      f.fcat <- i
+    end
+  end
+
+let with_category f cat body =
+  if not f.instr then body ()
+  else begin
+    let saved = f.fcat in
+    set_category f cat;
+    Fun.protect body ~finally:(fun () ->
+        set_category f (category_of_index saved))
+  end
+
+let instant f name =
+  match f.eng.tracer with
+  | None -> ()
+  | Some tr -> tr.trace_instant ~name ~track:f.fid ~at:f.fclock
+
+let breakdown f =
+  if not f.instr then []
+  else List.map (fun c -> (c, f.acats.(cat_index c))) categories
+
+let attributed_total f = Array.fold_left ( + ) 0 f.acats
+
+let check_attribution f =
+  if f.instr then begin
+    let total = attributed_total f in
+    let elapsed = f.fclock - f.fstart in
+    if total <> elapsed then
+      failwith
+        (Printf.sprintf
+           "Engine.check_attribution: fiber %s: categories sum to %d but \
+            clock advanced %d cycles"
+           f.fname total elapsed)
+  end
 
 let effc : type b. fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuation -> unit) option
     =
@@ -90,10 +215,15 @@ let effc : type b. fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuation ->
 
 let spawn t ?(daemon = false) ~name ~at body =
   let fiber =
-    { fid = t.next_fiber_id; fname = name; eng = t; daemon; fclock = at;
+    { fid = t.next_fiber_id; fname = name; eng = t; daemon; instr = t.einstr;
+      fstart = at; acats = (if t.einstr then Array.make num_categories 0 else [||]);
+      fcat = 0; seg_start = at; fclock = at;
       cont = None; finished = false }
   in
   t.next_fiber_id <- t.next_fiber_id + 1;
+  (match t.tracer with
+  | Some tr -> tr.trace_track ~track:fiber.fid ~name
+  | None -> ());
   if not daemon then t.live <- t.live + 1;
   let start () =
     Effect.Deep.match_with
@@ -102,6 +232,7 @@ let spawn t ?(daemon = false) ~name ~at body =
       {
         retc =
           (fun () ->
+            if fiber.instr then flush_segment fiber;
             fiber.finished <- true;
             if not daemon then t.live <- t.live - 1);
         exnc =
@@ -131,6 +262,9 @@ let run ?max_cycles ?(diag = fun () -> "") t =
     t.time <- time;
     event ()
   done;
+  (* Parked daemons never return, so their last open segment is flushed
+     here rather than in [retc]. *)
+  if t.tracer <> None then Hashtbl.iter (fun _ f -> flush_segment f) t.blocked;
   if t.live > 0 then
     raise
       (Deadlock { time = t.time; blocked = blocked_report t; note = diag () })

@@ -39,7 +39,51 @@ exception
     offending event time, the limit, the blocked fibers and the [diag]
     snapshot. *)
 
-val create : unit -> t
+(** {2 Execution-time attribution}
+
+    Every simulated cycle a fiber spends is charged to exactly one category.
+    [Compute] is the default; protocol layers re-scope sections with
+    [with_category].  Attribution happens inside [advance] and [set_clock]
+    (all clock movement flows through them — blocking primitives included),
+    so per-fiber category totals sum {e exactly} to the fiber's elapsed
+    clock — a checked invariant ([check_attribution]).  When the engine is
+    created without [~instrument] and without a [tracer], every hook below
+    is a no-op and simulated timing is byte-identical. *)
+
+type category =
+  | Compute  (** application work, cache hits, local stalls *)
+  | Protocol  (** DSM / coherence protocol handler CPU time *)
+  | Net_wait  (** blocked waiting for a network reply *)
+  | Lock_wait  (** blocked acquiring a lock *)
+  | Barrier_wait  (** blocked at a barrier *)
+  | Diff  (** SDSM diff creation and application *)
+  | Twin  (** SDSM twin creation *)
+  | Mem_stall  (** hardware platforms: bus / directory miss service *)
+
+val categories : category list
+(** All categories, in a fixed rendering order starting with [Compute]. *)
+
+val category_name : category -> string
+(** Stable lowercase name, e.g. ["net_wait"]; used for ["time.*"] counter
+    names and trace span labels. *)
+
+(** Sink for trace events; see {!Trace} for the Chrome-trace implementation.
+    [trace_track] is called once per spawned fiber with its display name;
+    [trace_segment] receives one maximal run of same-category cycles per
+    fiber; [trace_instant] receives point events (faults, retransmissions,
+    invalidations, ...). *)
+type tracer = {
+  trace_track : track:int -> name:string -> unit;
+  trace_segment : track:int -> cat:category -> start:int -> stop:int -> unit;
+  trace_instant : name:string -> track:int -> at:int -> unit;
+}
+
+val create : ?instrument:bool -> ?tracer:tracer -> unit -> t
+(** [create ()] is the zero-cost uninstrumented engine.  [~instrument:true]
+    turns on per-fiber category accounting; supplying a [tracer] implies
+    instrumentation and additionally streams segments / instants to it. *)
+
+val instrumented : t -> bool
 
 (** [now t] is the time of the most recently dispatched event. *)
 val now : t -> int
@@ -80,6 +124,25 @@ val advance : fiber -> int -> unit
 (** [set_clock f time] moves [f]'s clock forward to [time] (no-op if the
     clock is already past it).  No yield. *)
 val set_clock : fiber -> int -> unit
+
+(** [with_category f cat body] charges every cycle [f] spends inside [body]
+    to [cat], restoring the previous category afterwards (innermost scope
+    wins on nesting).  Never touches the clock or the event queue; when the
+    engine is uninstrumented it is exactly [body ()]. *)
+val with_category : fiber -> category -> (unit -> 'a) -> 'a
+
+(** [instant f name] records a point event at [f]'s current clock on [f]'s
+    track.  No-op unless the engine has a tracer. *)
+val instant : fiber -> string -> unit
+
+(** [breakdown f] is [f]'s per-category cycle totals in [categories] order,
+    or [[]] when the engine is uninstrumented. *)
+val breakdown : fiber -> (category * int) list
+
+(** [check_attribution f] verifies that [f]'s category totals sum exactly
+    to its elapsed clock.  No-op when uninstrumented.
+    @raise Failure on a mismatch, naming the fiber. *)
+val check_attribution : fiber -> unit
 
 (** [sync f] re-enters the event queue at [f]'s current clock, letting every
     event with an earlier time run first.  Call before touching shared

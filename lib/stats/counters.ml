@@ -16,6 +16,19 @@ let incr t name = add t name 1
 
 let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
 
+let mem t name = Hashtbl.mem t name
+
+let find t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> !r
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Counters.find: no counter named %S (known: %s)" name
+           (String.concat ", "
+              (List.sort String.compare
+                 (Hashtbl.fold (fun k _ acc -> k :: acc) t []))))
+
 let merge ~into src = Hashtbl.iter (fun name r -> add into name !r) src
 
 let reset t = Hashtbl.iter (fun _ r -> r := 0) t

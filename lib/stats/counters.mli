@@ -11,8 +11,17 @@ val incr : t -> string -> unit
 
 val add : t -> string -> int -> unit
 
-(** [get t name] is the counter value, or [0] if never touched. *)
+(** [get t name] is the counter value, or [0] if never touched.  A
+    misspelled name therefore silently reads as 0 — prefer {!find} (or
+    check {!mem}) when the counter is expected to exist. *)
 val get : t -> string -> int
+
+(** [mem t name] is true iff [name] has ever been emitted into [t]. *)
+val mem : t -> string -> bool
+
+(** Strict {!get}: @raise Invalid_argument (listing the known names) if
+    [name] was never emitted, instead of silently returning 0. *)
+val find : t -> string -> int
 
 (** [merge ~into src] adds every counter of [src] into [into]. *)
 val merge : into:t -> t -> unit

@@ -161,7 +161,9 @@ let drain_steal fiber nd =
   let s = !(nd.steal) in
   if s > 0 then begin
     nd.steal := 0;
-    Engine.advance fiber s
+    (* Handler CPU time charged to the application is protocol overhead. *)
+    Engine.with_category fiber Engine.Protocol (fun () ->
+        Engine.advance fiber s)
   end
 
 (* Optional protocol tracing for debugging: set TMKDBG_PAGE / TMKDBG_LOCK
@@ -198,7 +200,7 @@ let zero_size = Msg.sizes ()
 
 (* Register foreign interval records: remember them, queue per-page
    notices, and invalidate affected valid pages. *)
-let register_records t nd records =
+let register_records t fiber nd records =
   List.iter
     (fun (r : Record.t) ->
       ignore (Record.Store.add nd.store r);
@@ -217,7 +219,8 @@ let register_records t nd records =
               if st.valid then begin
                 st.valid <- false;
                 update_rights t nd p;
-                Counters.incr t.counters "tmk.invalidations"
+                Counters.incr t.counters "tmk.invalidations";
+                Engine.instant fiber "tmk.invalidate"
               end
             end)
           r.pages)
@@ -268,7 +271,8 @@ let close_interval t fiber nd =
             Diff.make ~page:p ~twin ~current:nd.mem
               ~base:(p * t.cfg.page_words) ~words:t.cfg.page_words
           in
-          Engine.advance fiber (ov.diff_per_word * t.cfg.page_words);
+          Engine.with_category fiber Engine.Diff (fun () ->
+              Engine.advance fiber (ov.diff_per_word * t.cfg.page_words));
           Hashtbl.replace nd.own_diffs (p, nd.seq) diff;
           Counters.incr t.counters "tmk.diffs_created";
           st.twin <- None;
@@ -345,7 +349,9 @@ let apply_diffs t fiber nd ~page items =
       end;
       Diff.apply d nd.mem ~base;
       Option.iter (Diff.apply_to_twin d) st.twin;
-      Engine.advance fiber (t.cfg.apply_per_word * Diff.words d);
+      Engine.with_category fiber Engine.Diff (fun () ->
+          Engine.advance fiber (t.cfg.apply_per_word * Diff.words d));
+      Engine.instant fiber "tmk.diff-apply";
       if r.seqno > st.applied.(r.creator) then
         st.applied.(r.creator) <- r.seqno;
       Counters.incr t.counters "tmk.diffs_applied")
@@ -358,15 +364,20 @@ let fault t fiber nd page =
   let rec wait_if_inflight () =
     match Hashtbl.find_opt nd.inflight page with
     | Some wq when not st.valid ->
-        Waitq.wait fiber wq;
+        (* Another co-located processor is fetching this page. *)
+        Engine.with_category fiber Engine.Net_wait (fun () ->
+            Waitq.wait fiber wq);
         wait_if_inflight ()
     | Some _ | None -> ()
   in
   wait_if_inflight ();
-  if not st.valid then begin
+  if not st.valid then
+  Engine.with_category fiber Engine.Protocol @@ fun () ->
+  begin
     let wq = Waitq.create t.eng in
     Hashtbl.replace nd.inflight page wq;
     Counters.incr t.counters "tmk.faults";
+    Engine.instant fiber "tmk.fault";
     Engine.advance fiber (overhead t).handler;
     (* Needed notices, grouped by creator. *)
     let needed =
@@ -392,7 +403,10 @@ let fault t fiber nd page =
       by_creator;
     let items = ref [] in
     for _ = 1 to expected do
-      match Mailbox.recv fiber mb with
+      match
+        Engine.with_category fiber Engine.Net_wait (fun () ->
+            Mailbox.recv fiber mb)
+      with
       | Proto.Diff_resp { page = p; creator; diffs; _ } ->
           assert (p = page);
           List.iter
@@ -471,8 +485,10 @@ let ensure_twin t fiber nd page (st : page_state) =
         if page = debug_page then
           Printf.eprintf "node %d twins page %d (c4=%d, seq=%d)\n" nd.id page
             (Memory.get_int nd.mem (base + 4)) nd.seq;
-        Engine.advance fiber
-          ((overhead t).handler + (t.cfg.twin_copy_per_word * t.cfg.page_words));
+        Engine.with_category fiber Engine.Twin (fun () ->
+            Engine.advance fiber
+              ((overhead t).handler
+              + (t.cfg.twin_copy_per_word * t.cfg.page_words)));
         st.twin <- Some twin;
         update_rights t nd page;
         nd.dirty <- page :: nd.dirty;
@@ -594,7 +610,8 @@ let acquire t fiber ~node ~lock =
   drain_steal fiber nd;
   let ls = nd.locks.(lock) in
   while ls.in_use do
-    Waitq.wait fiber ls.local_waiters
+    Engine.with_category fiber Engine.Lock_wait (fun () ->
+        Waitq.wait fiber ls.local_waiters)
   done;
   if ls.has_token then begin
     (* Token already on-node: no messages (paper Section 3.1). *)
@@ -602,10 +619,13 @@ let acquire t fiber ~node ~lock =
       Printf.eprintf "[%d] node %d LOCAL lock %d\n" (Engine.clock fiber)
         nd.id lock;
     ls.in_use <- true;
-    Engine.advance fiber t.cfg.local_lock_cycles;
+    Engine.with_category fiber Engine.Protocol (fun () ->
+        Engine.advance fiber t.cfg.local_lock_cycles);
     Counters.incr t.counters "tmk.lock_local"
   end
-  else begin
+  else
+    Engine.with_category fiber Engine.Protocol @@ fun () ->
+    begin
     let req = fresh_req nd in
     let mb = register_req t nd req in
     let vc = Vc.copy nd.vc in
@@ -621,12 +641,15 @@ let acquire t fiber ~node ~lock =
       Reliable.loopback t.net fiber ~node:nd.id ~class_:(Proto.class_ body)
         ~size:(Proto.sizes body) body
     else send t fiber ~src:nd.id ~dst:manager body;
-    (match Mailbox.recv fiber mb with
+    (match
+       Engine.with_category fiber Engine.Lock_wait (fun () ->
+           Mailbox.recv fiber mb)
+     with
     | Proto.Lock_grant { vc = granter_vc; records; _ } ->
         if lock = debug_lock then
           Printf.eprintf "[%d] node %d GOT lock %d (req %d)\n"
             (Engine.clock fiber) nd.id lock req;
-        register_records t nd records;
+        register_records t fiber nd records;
         Vc.max_into ~into:nd.vc granter_vc;
         ls.has_token <- true;
         ls.in_use <- true
@@ -648,7 +671,10 @@ let eager_notice_broadcast t fiber nd (record : Record.t) =
         (Proto.Eager_notice { record; requester = nd.id; req })
   done;
   for _ = 1 to t.cfg.n_nodes - 1 do
-    match Mailbox.recv fiber mb with
+    match
+      Engine.with_category fiber Engine.Net_wait (fun () ->
+          Mailbox.recv fiber mb)
+    with
     | Proto.Eager_ack _ -> ()
     | _ -> failwith "eager release: unexpected response"
   done;
@@ -671,6 +697,7 @@ let release t fiber ~node ~lock =
   let nd = t.nodes.(node) in
   Engine.sync fiber;
   drain_steal fiber nd;
+  Engine.with_category fiber Engine.Protocol @@ fun () ->
   let closed = close_interval t fiber nd in
   after_close t fiber nd ~lock:(Some lock) closed;
   let ls = nd.locks.(lock) in
@@ -734,6 +761,7 @@ let barrier_arrive t fiber ~node ~id =
   let nd = t.nodes.(node) in
   Engine.sync fiber;
   drain_steal fiber nd;
+  Engine.with_category fiber Engine.Protocol @@ fun () ->
   let closed = close_interval t fiber nd in
   after_close t fiber nd ~lock:None closed;
   let own_records =
@@ -751,9 +779,12 @@ let barrier_arrive t fiber ~node ~id =
     send t fiber ~src:nd.id ~dst:mgr_id
       (Proto.Barrier_arrive
          { barrier = id; node = nd.id; req; vc = arr_vc; records = own_records });
-  (match Mailbox.recv fiber mb with
+  (match
+     Engine.with_category fiber Engine.Barrier_wait (fun () ->
+         Mailbox.recv fiber mb)
+   with
   | Proto.Barrier_depart { vc; records; _ } ->
-      register_records t nd records;
+      register_records t fiber nd records;
       Vc.max_into ~into:nd.vc vc
   | _ -> failwith "barrier: unexpected response");
   finish_req nd req
@@ -809,7 +840,7 @@ let handle t fiber nd (env : Proto.t Msg.envelope) =
       steal_simple ()
   | Proto.Eager_notice { record; requester; req } ->
       Engine.advance fiber (overhead t).handler;
-      register_records t nd [ record ];
+      register_records t fiber nd [ record ];
       send t fiber ~src:nd.id ~dst:requester (Proto.Eager_ack { req });
       steal_simple ()
   | Proto.Lock_grant { req; _ } | Proto.Diff_resp { req; _ }
@@ -820,8 +851,12 @@ let handle t fiber nd (env : Proto.t Msg.envelope) =
 
 let handler_loop t nd fiber =
   let rec loop () =
-    let env = Reliable.recv t.net fiber ~node:nd.id in
-    handle t fiber nd env;
+    let env =
+      Engine.with_category fiber Engine.Net_wait (fun () ->
+          Reliable.recv t.net fiber ~node:nd.id)
+    in
+    Engine.with_category fiber Engine.Protocol (fun () ->
+        handle t fiber nd env);
     loop ()
   in
   loop ()

@@ -19,4 +19,5 @@ let () =
       ("ranges", Test_ranges.suite);
       ("platform", Test_platform.suite);
       ("runner", Test_runner.suite);
+      ("breakdown", Test_breakdown.suite);
     ]
