@@ -491,7 +491,7 @@ let lrc_vs_ivy () =
 let lrc_vs_erc () =
   let apps = [ "sor"; "tsp"; "water"; "m-water"; "ilink-clp" ] in
   let erc () =
-    Dsm_cluster.dec ~notice_policy:Shm_tmk.Config.Eager_invalidate
+    Dsm_cluster.dec ~protocol:"erc"
       ~level:Dsm_cluster.User ()
   in
   let table =
@@ -660,6 +660,65 @@ let breakdown_exhibit () =
     "\nThe software DSM spends its overhead in protocol handlers, twin/diff\n\
      work and message waits; the bus machine's only overhead is memory\n\
      stalls.  Barrier waits dominate both wherever load is imbalanced."
+
+(* ------------------------------------------------------------------ *)
+(* Protocol matrix: every software coherence engine mounted on the     *)
+(* same SDSM cluster, with the execution-time breakdown for each.      *)
+
+let pm_protocols = [ "lrc"; "eager-lrc"; "ivy"; "tardis" ]
+
+let pm_platform p =
+  Dsm_cluster.dec ~protocol:p ~instrument:Instrument.breakdown_only
+    ~level:Dsm_cluster.User ()
+
+let pm_key p = "proto-" ^ p ^ "+bd"
+
+let protocol_matrix () =
+  let table =
+    Table.create
+      ~title:
+        "Protocol matrix: coherence engines on the DEC cluster, 8 \
+         processors (seconds, traffic, % of attributed cycles)"
+      ~columns:
+        ([ "program"; "protocol"; "seconds"; "msgs"; "kbytes" ]
+        @ List.map Engine.category_name Engine.categories)
+  in
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      List.iter
+        (fun p ->
+          let r =
+            timed_run ~app_key:name ~platform:(pm_platform p)
+              ~platform_key:(pm_key p) app ~n:8
+          in
+          let bd = Report.breakdown r in
+          let total =
+            float_of_int (List.fold_left (fun acc (_, v) -> acc + v) 0 bd)
+          in
+          let cell cat =
+            match List.assoc_opt cat bd with
+            | None | Some 0 -> "-"
+            | Some v ->
+                Table.cell_f ~digits:1 (100. *. float_of_int v /. total)
+          in
+          Table.add_row table
+            ([
+               app.Parmacs.name; p;
+               Table.cell_f ~digits:4 (Report.seconds r);
+               Table.cell_i (Report.get r "net.msgs.total");
+               Table.cell_i (Report.get r "net.bytes.total" / 1024);
+             ]
+            @ List.map cell Engine.categories))
+        pm_protocols)
+    bd_apps;
+  Table.print table;
+  print_endline
+    "\nOne cluster, four engines.  Laziness (lrc) minimizes messages;\n\
+     eager-lrc pays broadcast traffic at every release to shorten the\n\
+     stale-data window the paper observed in TSP; ivy ships whole pages\n\
+     and serializes writers; tardis replaces invalidation broadcasts\n\
+     with timestamp leases and renewals."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core primitives                    *)
@@ -872,7 +931,7 @@ let plan_lrc_vs_ivy () =
 
 let plan_lrc_vs_erc () =
   let erc () =
-    Dsm_cluster.dec ~notice_policy:Shm_tmk.Config.Eager_invalidate
+    Dsm_cluster.dec ~protocol:"erc"
       ~level:Dsm_cluster.User ()
   in
   List.iter
@@ -908,6 +967,17 @@ let plan_breakdown () =
         (fun (platform_key, _, platform) ->
           declare ~app_key:name ~platform ~platform_key app ~n:8)
         platforms)
+    bd_apps
+
+let plan_protocol_matrix () =
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      List.iter
+        (fun p ->
+          declare ~app_key:name ~platform:(pm_platform p)
+            ~platform_key:(pm_key p) app ~n:8)
+        pm_protocols)
     bd_apps
 
 let plan_sharing_patterns () =
@@ -1067,6 +1137,8 @@ let experiments =
       plan = plan_sharing_patterns; run = sharing_patterns };
     { id = "bd1"; title = "Execution-time breakdown (software vs hardware)";
       plan = plan_breakdown; run = breakdown_exhibit };
+    { id = "pm1"; title = "Protocol matrix: engines on the SDSM cluster";
+      plan = plan_protocol_matrix; run = protocol_matrix };
     { id = "micro"; title = "Bechamel micro-benchmarks"; plan = no_plan;
       run = micro };
   ]

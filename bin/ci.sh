@@ -28,8 +28,9 @@ fi
 # message through Shm_net.Reliable — a direct Fabric send/recv would
 # bypass sequencing and break the fault-tolerance contract of
 # DESIGN.md §9.
-if grep -nE 'Fabric\.(send|recv|loopback)' lib/tmk/*.ml lib/ivy/*.ml; then
-  echo "ci: lib/tmk and lib/ivy must use Shm_net.Reliable, not raw Fabric" >&2
+if grep -nE 'Fabric\.(send|recv|loopback)' lib/tmk/*.ml lib/ivy/*.ml \
+     lib/tardis/*.ml; then
+  echo "ci: the DSM engines must use Shm_net.Reliable, not raw Fabric" >&2
   exit 1
 fi
 
@@ -37,8 +38,18 @@ fi
 # must raise a descriptive error naming the page/requester/state, never
 # a bare `assert false` (DESIGN.md §10 — the Ivy manager's Invalid-state
 # branch was exactly such a silent failure).
-if grep -n 'assert false' lib/ivy/*.ml lib/tmk/*.ml; then
+if grep -n 'assert false' lib/ivy/*.ml lib/tmk/*.ml lib/tardis/*.ml; then
   echo "ci: raise a descriptive error instead of 'assert false' in the DSM protocol layers" >&2
+  exit 1
+fi
+
+# Layering audit: lib/platform mounts coherence engines only through the
+# Shm_proto interface and the Shm_engines registry (DESIGN.md §11).  A
+# platform naming a concrete engine library would re-couple the layers
+# the protocol interface decoupled.
+if grep -nE 'Shm_tmk\.|Shm_ivy\.|Shm_tardis\.|Snoop\.|Directory\.|Shm_memsys\.Snoop|Shm_memsys\.Directory' \
+     lib/platform/*.ml lib/platform/*.mli; then
+  echo "ci: lib/platform must mount engines via Shm_proto/Shm_engines, not name them directly" >&2
   exit 1
 fi
 
@@ -70,15 +81,17 @@ assert len(d["runs"]) >= 1
 fi
 
 # Chaos smoke: a seeded 5% drop schedule over the Quick five-app matrix
-# on both software-DSM protocols must leave every checksum identical to
-# the fault-free run, with the reliable layer actually retransmitting.
-# The JSON writer emits one flat line, so grep suffices to extract
-# fields without a jq dependency.
-for plat in treadmarks ivy; do
+# on the software-DSM engines (including the timestamp-coherence engine
+# mounted via --protocol) must leave every checksum identical to the
+# fault-free run, with the reliable layer actually retransmitting.  The
+# JSON writer emits one flat line, so grep suffices to extract fields
+# without a jq dependency.  $plat expands to multiple words for the
+# --protocol rows, so it is deliberately unquoted.
+for plat in "treadmarks" "ivy" "treadmarks --protocol tardis"; do
   for app in sor tsp water m-water ilink-clp; do
-    dune exec bin/shmsim.exe -- run -a "$app" -p "$plat" -n 4 \
+    dune exec bin/shmsim.exe -- run -a "$app" -p $plat -n 4 \
       --scale quick --json "$clean_json" >/dev/null
-    dune exec bin/shmsim.exe -- run -a "$app" -p "$plat" -n 4 \
+    dune exec bin/shmsim.exe -- run -a "$app" -p $plat -n 4 \
       --scale quick --drop 0.05 --fault-seed 1 \
       --json "$chaos_json" >/dev/null
     clean_sum=$(grep -o '"checksum": "[^"]*"' "$clean_json")

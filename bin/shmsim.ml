@@ -58,6 +58,19 @@ let platform_arg =
           (Printf.sprintf "Platform model; one of %s."
              (String.concat ", " Machines.names)))
 
+let protocol_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "protocol" ] ~docv:"PROTO"
+        ~doc:
+          (Printf.sprintf
+             "Coherence engine to mount on the platform (see $(b,shmsim \
+              protocols)); one of %s.  Machines refuse engines of the wrong \
+              kind — a hardware engine on a software-DSM cluster and vice \
+              versa."
+             (String.concat ", " Machines.protocols)))
+
 let procs_arg =
   Arg.(
     value & opt procs_conv [ 1 ]
@@ -225,8 +238,8 @@ let with_pool jobs f =
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
 let run_cmd =
-  let run app_name platform_name procs scale stats jobs drop dup jitter seed
-      max_cycles json trace_path =
+  let run app_name platform_name protocol procs scale stats jobs drop dup
+      jitter seed max_cycles json trace_path =
     let app = Registry.app ~scale app_name in
     let faults = faults_of ~drop ~dup ~jitter ~seed in
     let trace =
@@ -244,7 +257,7 @@ let run_cmd =
       | Some (_, tr) -> Instrument.with_trace tr
     in
     let platform =
-      try Machines.get ~faults ?max_cycles ~instrument platform_name
+      try Machines.get ~faults ?max_cycles ~instrument ?protocol platform_name
       with Invalid_argument msg ->
         Printf.eprintf "shmsim: %s\n" msg;
         exit 2
@@ -315,8 +328,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an application on a platform model")
     Term.(
-      const run $ app_arg $ platform_arg $ procs_arg $ scale_arg $ stats_arg
-      $ jobs_arg $ drop_arg $ dup_arg $ jitter_arg $ fault_seed_arg
+      const run $ app_arg $ platform_arg $ protocol_arg $ procs_arg $ scale_arg
+      $ stats_arg $ jobs_arg $ drop_arg $ dup_arg $ jitter_arg $ fault_seed_arg
       $ max_cycles_arg $ json_arg $ trace_arg)
 
 let list_cmd =
@@ -324,18 +337,55 @@ let list_cmd =
     print_endline "applications:";
     List.iter (fun n -> Printf.printf "  %s\n" n) Registry.names;
     print_endline "platforms:";
-    List.iter (fun n -> Printf.printf "  %s\n" n) Machines.names
+    List.iter (fun n -> Printf.printf "  %s\n" n) Machines.names;
+    print_endline "protocols:";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Machines.protocols
   in
   Cmd.v
-    (Cmd.info "list" ~doc:"List available applications and platforms")
+    (Cmd.info "list"
+       ~doc:"List available applications, platforms and protocols")
     Term.(const list $ const ())
 
+let protocols_cmd =
+  let show () =
+    List.iter
+      (fun name ->
+        let kind = Shm_engines.kind_of name in
+        Printf.printf "%-10s %-13s %s\n" name
+          (Shm_proto.kind_name kind)
+          (Shm_engines.describe name))
+      Machines.protocols
+  in
+  Cmd.v
+    (Cmd.info "protocols"
+       ~doc:
+         "List the registered coherence engines: name, kind (sdsm engines \
+          mount on the software-DSM clusters, hw engines on the bus and \
+          crossbar machines) and a one-line description")
+    Term.(const show $ const ())
+
 let compare_cmd =
-  let compare app_name procs scale jobs =
+  let compare app_name protocol procs scale jobs =
     let scale_apps = Registry.app ~scale in
     let platforms =
-      [ "treadmarks"; "treadmarks-kernel"; "treadmarks-erc"; "ivy"; "sgi" ]
+      (* With an explicit engine the sweep becomes "that engine on the
+         SDSM cluster vs. the hardware baseline"; without one it is the
+         paper's full software-variant spread. *)
+      match protocol with
+      | Some p -> [ ("treadmarks", Some p); ("sgi", None) ]
+      | None ->
+          List.map
+            (fun n -> (n, None))
+            [ "treadmarks"; "treadmarks-kernel"; "treadmarks-erc"; "ivy"; "sgi" ]
     in
+    let machine (pname, proto) =
+      try Machines.get ?protocol:proto pname
+      with Invalid_argument msg ->
+        Printf.eprintf "shmsim: %s\n" msg;
+        exit 2
+    in
+    (* Surface an invalid machine x protocol combination before any runs. *)
+    List.iter (fun spec -> ignore (machine spec)) platforms;
     let table =
       Table.create
         ~title:
@@ -347,22 +397,22 @@ let compare_cmd =
         (* Submit the whole platform x procs matrix up front; each run
            builds its own app instance inside the worker, so nothing
            mutable is shared between concurrent simulations. *)
-        let submit pname n =
+        let submit spec n =
           Pool.submit pool (fun () ->
-              (Machines.get pname).Platform.run (scale_apps app_name) ~nprocs:n)
+              (machine spec).Platform.run (scale_apps app_name) ~nprocs:n)
         in
         let grid =
           List.map
-            (fun pname ->
-              let base = submit pname 1 in
-              ( pname,
+            (fun spec ->
+              let base = submit spec 1 in
+              ( spec,
                 base,
-                List.map (fun n -> (n, if n = 1 then base else submit pname n)) procs ))
+                List.map (fun n -> (n, if n = 1 then base else submit spec n)) procs ))
             platforms
         in
         List.iter
-          (fun (pname, base_fut, rows) ->
-            let p = Machines.get pname in
+          (fun (spec, base_fut, rows) ->
+            let p = machine spec in
             let base = Future.await base_fut in
             List.iter
               (fun (n, fut) ->
@@ -382,8 +432,11 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare"
-       ~doc:"Run one application on every software-DSM variant and the SGI")
-    Term.(const compare $ app_arg $ procs_arg $ scale_arg $ jobs_arg)
+       ~doc:
+         "Run one application on every software-DSM variant and the SGI \
+          (with $(b,--protocol), on that engine and the SGI)")
+    Term.(
+      const compare $ app_arg $ protocol_arg $ procs_arg $ scale_arg $ jobs_arg)
 
 (* Self-contained validator for the files [--trace] writes.  The writer
    emits one JSON object per line (see Shm_sim.Trace), so the checks are
@@ -482,6 +535,6 @@ let main =
        ~doc:
          "Software vs. hardware shared-memory implementation: simulation \
           models from Cox et al., ISCA 1994")
-    [ run_cmd; list_cmd; compare_cmd; trace_check_cmd ]
+    [ run_cmd; list_cmd; protocols_cmd; compare_cmd; trace_check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,77 +1,3 @@
-module Engine = Shm_sim.Engine
-module Counters = Shm_stats.Counters
-module Memory = Shm_memsys.Memory
-module Directory = Shm_memsys.Directory
-module Parmacs = Shm_parmacs.Parmacs
-
-let make ?(instrument = Instrument.off) () =
-  let run (app : Parmacs.app) ~nprocs =
-    let eng = Instrument.engine instrument in
-    let counters = Counters.create () in
-    let total_words = app.shared_words + Hw_sync.region_words in
-    let mem = Memory.create ~words:total_words in
-    app.init mem;
-    let machine =
-      Directory.create eng counters mem (Directory.sim_config ~n_nodes:nprocs)
-    in
-    let access =
-      {
-        Hw_sync.rmw =
-          (fun f ~cpu addr g -> Directory.rmw machine f ~node:cpu addr g);
-        read =
-          (fun f ~cpu addr -> ignore (Directory.read machine f ~node:cpu addr));
-      }
-    in
-    let sync = Hw_sync.create eng access ~base:app.shared_words ~nprocs in
-    let ends = Array.make nprocs 0 in
-    let fibers =
-      Array.init nprocs (fun cpu ->
-        Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:0 (fun f ->
-             let fcell = ref 0.0 in
-             let ctx =
-               {
-                 Parmacs.id = cpu;
-                 nprocs;
-                 read = (fun addr -> Directory.read machine f ~node:cpu addr);
-                 write =
-                   (fun addr v -> Directory.write machine f ~node:cpu addr v);
-                 fcell;
-                 readf =
-                   (fun addr ->
-                     Directory.read_timing machine f ~node:cpu addr;
-                     fcell := Memory.get_float mem addr);
-                 writef =
-                   (fun addr ->
-                     Directory.write_timing machine f ~node:cpu addr;
-                     Memory.set_float mem addr !fcell);
-                 range =
-                   Parmacs.range_ops_of_runs ~mem
-                     ~read_run:(fun addr words ~f:move ->
-                       Directory.read_range machine f ~node:cpu addr words
-                         ~f:move)
-                     ~write_run:(fun addr words ~f:move ->
-                       Directory.write_range machine f ~node:cpu addr words
-                         ~f:move);
-                 lock = (fun l -> Hw_sync.lock sync f ~cpu l);
-                 unlock = (fun l -> Hw_sync.unlock sync f ~cpu l);
-                 barrier = (fun b -> Hw_sync.barrier sync f ~cpu b);
-                 compute = (fun n -> Engine.advance f n);
-               }
-             in
-             app.work ctx;
-             ends.(cpu) <- Engine.clock f))
-    in
-    Engine.run eng;
-    Directory.check_invariants machine;
-    Instrument.finish instrument counters fibers;
-    {
-      Report.platform = "AH";
-      app = app.name;
-      nprocs;
-      cycles = Array.fold_left max 0 ends;
-      clock_mhz = 100.0;
-      checksum = Parmacs.checksum_of mem app;
-      counters = Counters.to_list counters;
-    }
-  in
-  { Platform.name = "AH"; clock_mhz = 100.0; max_procs = 256; run }
+let make ?protocol ?instrument () =
+  Hw_cluster.make ~default_protocol:"directory" ?protocol ?instrument
+    ~name:"AH" ~clock_mhz:100.0 ~max_procs:256 ~profile:Shm_proto.Crossbar ()

@@ -1,5 +1,8 @@
 (** The "All Hardware" design of paper Section 3: uniprocessor nodes on a
-    crossbar with directory-based cache coherence (DASH/FLASH-like). *)
+    crossbar with directory-based cache coherence (DASH/FLASH-like).
+
+    [protocol] overrides the mounted engine (default ["directory"]); only
+    hardware engines mount here. *)
 
 (** [instrument] as in {!Dsm_cluster.dec}. *)
-val make : ?instrument:Instrument.t -> unit -> Platform.t
+val make : ?protocol:string -> ?instrument:Instrument.t -> unit -> Platform.t

@@ -4,11 +4,11 @@ module Fabric = Shm_net.Fabric
 module Overhead = Shm_net.Overhead
 module Memory = Shm_memsys.Memory
 module Private_cache = Shm_memsys.Private_cache
-module Config = Shm_tmk.Config
-module System = Shm_tmk.System
 module Parmacs = Shm_parmacs.Parmacs
 
 type level = User | Kernel
+
+let page_words = 512
 
 (* Backstop for fault-mode runs with no explicit --max-cycles: generous
    enough for any paper-scale run (~1e10 cycles), small enough that a
@@ -16,19 +16,27 @@ type level = User | Kernel
    apparent hang. *)
 let default_fault_watchdog = 200_000_000_000
 
-let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
+(* The generic software-DSM cluster: one memory per node, a message
+   fabric between them, and whichever coherence engine the caller
+   mounts.  Everything protocol-specific is behind the engine instance;
+   this runner owns the machine (fabric timing, private caches, the
+   software-TLB fast path, the processor fibers). *)
+let make ~engine:(module E : Shm_proto.ENGINE) ?(faults = Fabric.no_faults)
     ?max_cycles ?(instrument = Instrument.off) ~name ~clock_mhz ~max_procs
     ~fabric_of ~cache_cfg ~eager () =
+  (match E.kind with
+  | Shm_proto.Sdsm -> ()
+  | Shm_proto.Hw ->
+      invalid_arg
+        (Printf.sprintf
+           "platform %S is a software-DSM cluster; protocol %S is a hardware \
+            cache-coherence engine (mount it on one of: sgi, sgi-fast, ah)"
+           name E.name));
   let run (app : Parmacs.app) ~nprocs =
     let eng = Instrument.engine instrument in
     let counters = Counters.create () in
-    let fabric =
-      Fabric.create eng counters
-        { (fabric_of ()) with Fabric.faults }
-        ~nodes:nprocs
-    in
-    (* Round up to whole pages: twins and diffs work page-at-a-time. *)
-    let shared_words = (app.shared_words + 511) / 512 * 512 in
+    (* Round up to whole pages: the engines work page-at-a-time. *)
+    let shared_words = (app.shared_words + page_words - 1) / page_words * page_words in
     let image = Memory.create ~words:shared_words in
     app.init image;
     let memories =
@@ -37,19 +45,35 @@ let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
           Memory.copy_all ~src:image ~dst:m;
           m)
     in
-    let cfg =
-      {
-        (Config.default ~n_nodes:nprocs ~shared_words) with
-        notice_policy;
-        eager_locks = (if eager then app.eager_lock_hints else []);
-      }
+    let inst =
+      E.mount
+        {
+          Shm_proto.eng;
+          counters;
+          fabric = { (fabric_of ()) with Fabric.faults };
+          nodes = nprocs;
+          page_words;
+          shared_words;
+          memories;
+          eager_lock_hints = (if eager then app.eager_lock_hints else []);
+          hw_profile = None;
+        }
     in
-    let sys = System.create eng counters fabric cfg ~memories in
     let caches = Array.init nprocs (fun _ -> Private_cache.create cache_cfg) in
-    System.set_page_hook sys (fun ~node ~page ->
-        Private_cache.invalidate_range caches.(node)
-          ~addr:(page * cfg.page_words) ~words:cfg.page_words);
-    System.start sys;
+    inst.Shm_proto.set_page_hook (fun ~node ~page ->
+        Private_cache.invalidate_range caches.(node) ~addr:(page * page_words)
+          ~words:page_words);
+    inst.Shm_proto.start ();
+    let rights_of =
+      match inst.Shm_proto.access_rights with
+      | Some f -> f
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "platform %S: engine %S provides no page table for the \
+                software-TLB fast path"
+               name E.name)
+    in
     let ends = Array.make nprocs 0 in
     let fibers =
       Array.init nprocs (fun node ->
@@ -57,54 +81,50 @@ let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
              let mem = memories.(node) and pc = caches.(node) in
              (* Software-TLB fast path: one byte load decides whether the
                 guard call can be skipped (page readable / writable with
-                the twin in place).  The protocol keeps the byte current on
+                the twin in place).  The engine keeps the byte current on
                 every transition, so the fast path is exactly the guard's
                 no-op branch. *)
-             let rights = System.access_rights sys ~node in
-             let shift = System.page_shift sys in
+             let rights = rights_of ~node in
+             let shift = inst.Shm_proto.page_shift in
              assert (shift >= 0);
              let read addr =
                if Bytes.unsafe_get rights (addr lsr shift) = '\000' then
-                 System.read_guard sys f ~node addr;
+                 inst.Shm_proto.read_guard f ~node addr;
                Private_cache.read pc f addr;
                Memory.get mem addr
              and write addr v =
                if Bytes.unsafe_get rights (addr lsr shift) <> '\002' then
-                 System.write_guard sys f ~node addr;
+                 inst.Shm_proto.write_guard f ~node addr;
                Private_cache.write pc f addr;
                Memory.set mem addr v
              in
              let fcell = ref 0.0 in
              let readf addr =
                if Bytes.unsafe_get rights (addr lsr shift) = '\000' then
-                 System.read_guard sys f ~node addr;
+                 inst.Shm_proto.read_guard f ~node addr;
                Private_cache.read pc f addr;
                fcell := Memory.get_float mem addr
              and writef addr =
                if Bytes.unsafe_get rights (addr lsr shift) <> '\002' then
-                 System.write_guard sys f ~node addr;
+                 inst.Shm_proto.write_guard f ~node addr;
                Private_cache.write pc f addr;
                Memory.set_float mem addr !fcell
              in
              let range =
-               match notice_policy with
-               | Config.Eager_invalidate ->
-                   (* Under eager-invalidate RC a notice broadcast can land
-                      inside the twin-creation yield mid-run; only the
-                      word-at-a-time order is exactly equivalent there. *)
-                   Parmacs.range_ops_wordwise ~read ~write
-               | Config.Lazy ->
-                   Parmacs.range_ops_of_runs ~mem
-                     ~read_run:(fun addr words ~f:move ->
-                       System.read_range_guard sys f ~node addr words
-                         ~f:(fun p l ->
-                           Private_cache.read_range pc f p l;
-                           move p l))
-                     ~write_run:(fun addr words ~f:move ->
-                       System.write_range_guard sys f ~node addr words
-                         ~f:(fun p l ->
-                           Private_cache.write_range pc f p l;
-                           move p l))
+               if inst.Shm_proto.wordwise_ranges then
+                 Parmacs.range_ops_wordwise ~read ~write
+               else
+                 Parmacs.range_ops_of_runs ~mem
+                   ~read_run:(fun addr words ~f:move ->
+                     inst.Shm_proto.read_range_guard f ~node addr words
+                       ~f:(fun p l ->
+                         Private_cache.read_range pc f p l;
+                         move p l))
+                   ~write_run:(fun addr words ~f:move ->
+                     inst.Shm_proto.write_range_guard f ~node addr words
+                       ~f:(fun p l ->
+                         Private_cache.write_range pc f p l;
+                         move p l))
              in
              let ctx =
                {
@@ -116,9 +136,9 @@ let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
                  readf;
                  writef;
                  range;
-                 lock = (fun l -> System.acquire sys f ~node ~lock:l);
-                 unlock = (fun l -> System.release sys f ~node ~lock:l);
-                 barrier = (fun b -> System.barrier_arrive sys f ~node ~id:b);
+                 lock = (fun l -> inst.Shm_proto.acquire f ~node ~lock:l);
+                 unlock = (fun l -> inst.Shm_proto.release f ~node ~lock:l);
+                 barrier = (fun b -> inst.Shm_proto.barrier_arrive f ~node ~id:b);
                  compute = (fun n -> Engine.advance f n);
                }
              in
@@ -132,8 +152,8 @@ let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
           if Fabric.faults_active faults then Some default_fault_watchdog
           else None
     in
-    Engine.run ?max_cycles ~diag:(fun () -> System.retx_note sys) eng;
-    System.check_invariants sys;
+    Engine.run ?max_cycles ~diag:(fun () -> inst.Shm_proto.retx_note ()) eng;
+    inst.Shm_proto.check_invariants ();
     Instrument.finish instrument counters fibers;
     {
       Report.platform = name;
@@ -147,28 +167,29 @@ let make ?(notice_policy = Config.Lazy) ?(faults = Fabric.no_faults)
   in
   { Platform.name; clock_mhz; max_procs; run }
 
-let dec ?(eager = false) ?(notice_policy = Config.Lazy) ?faults ?max_cycles
-    ?instrument ~level () =
+let dec ?(eager = false) ?(protocol = "lrc") ?faults ?max_cycles ?instrument
+    ~level () =
   let overhead, suffix =
     match level with
     | User -> (Overhead.treadmarks_user, "user")
     | Kernel -> (Overhead.treadmarks_kernel, "kernel")
   in
-  let suffix =
-    match notice_policy with
-    | Config.Lazy -> suffix
-    | Config.Eager_invalidate -> "erc"
+  let name =
+    match protocol with
+    | "lrc" -> Printf.sprintf "treadmarks-%s" suffix
+    | "erc" -> "treadmarks-erc"
+    | p -> Printf.sprintf "treadmarks-%s+%s" suffix p
   in
-  make ~notice_policy ?faults ?max_cycles ?instrument
-    ~name:(Printf.sprintf "treadmarks-%s" suffix)
+  make ~engine:(Shm_engines.get protocol) ?faults ?max_cycles ?instrument ~name
     ~clock_mhz:40.0 ~max_procs:8
     ~fabric_of:(fun () -> Fabric.atm_dec ~overhead)
     ~cache_cfg:Private_cache.dec_config ~eager ()
 
-let as_machine ?(eager = false) ?(overhead = Overhead.treadmarks_user) ?faults
-    ?max_cycles ?instrument () =
-  make ?faults ?max_cycles ?instrument ~name:"AS" ~clock_mhz:100.0
-    ~max_procs:256
+let as_machine ?(eager = false) ?(protocol = "lrc")
+    ?(overhead = Overhead.treadmarks_user) ?faults ?max_cycles ?instrument () =
+  let name = if protocol = "lrc" then "AS" else "AS+" ^ protocol in
+  make ~engine:(Shm_engines.get protocol) ?faults ?max_cycles ?instrument ~name
+    ~clock_mhz:100.0 ~max_procs:256
     ~fabric_of:(fun () -> Fabric.atm_sim ~overhead)
     ~cache_cfg:Private_cache.sim_node_config ~eager ()
 

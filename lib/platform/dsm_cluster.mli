@@ -1,30 +1,50 @@
-(** DSM platforms: TreadMarks over an ATM LAN.
+(** Software-DSM platforms: a cluster of nodes with private memories kept
+    coherent by a mounted {!Shm_proto.ENGINE} over a message fabric.
 
-    Two incarnations:
+    Two named incarnations:
     - [dec ~level]: the paper's experimental platform — DECstation-5000/240
-      workstations (40 MHz), with TreadMarks either at user level or moved
-      inside the Ultrix kernel (Section 2.4.4);
+      workstations (40 MHz) on an ATM LAN, with the DSM layer either at
+      user level or moved inside the Ultrix kernel (Section 2.4.4);
     - [as_machine ~overhead]: the Section-3 "All Software" design — 100 MHz
       uniprocessor nodes, with the messaging overhead swept for
       Figures 14-15;
-    plus [dec_plain], a single DECstation without TreadMarks (the baseline
-    column of Table 1). *)
+    plus [dec_plain], a single DECstation without any DSM (the baseline
+    column of Table 1), and [make], the generic engine-mounted runner the
+    named machines (and {!Ivy_cluster}) are built from. *)
 
 type level = User | Kernel
 
+(** [make ~engine ...] builds a cluster platform around a software-DSM
+    coherence engine.  @raise Invalid_argument if [engine] is a hardware
+    engine. *)
+val make :
+  engine:(module Shm_proto.ENGINE) ->
+  ?faults:Shm_net.Fabric.faults ->
+  ?max_cycles:int ->
+  ?instrument:Instrument.t ->
+  name:string ->
+  clock_mhz:float ->
+  max_procs:int ->
+  fabric_of:(unit -> Shm_net.Fabric.config) ->
+  cache_cfg:Shm_memsys.Private_cache.config ->
+  eager:bool ->
+  unit ->
+  Platform.t
+
 (** [eager] honours the app's eager-release lock hints (TSP bound);
-    [notice_policy] selects lazy (TreadMarks) or eager-invalidate
-    (conventional RC) write-notice propagation; [faults] arms network
-    fault injection on the ATM fabric (the DSM then runs over
-    {!Shm_net.Reliable}); [max_cycles] bounds the run with
-    {!Shm_sim.Engine.Watchdog} — fault-mode runs default to a generous
-    backstop so a retransmission livelock cannot hang forever;
+    [protocol] names the coherence engine to mount (default ["lrc"],
+    TreadMarks; ["erc"] reproduces the old eager-invalidate variant,
+    ["eager-lrc"], ["ivy"] and ["tardis"] are the other software
+    engines); [faults] arms network fault injection on the ATM fabric
+    (the DSM then runs over {!Shm_net.Reliable}); [max_cycles] bounds the
+    run with {!Shm_sim.Engine.Watchdog} — fault-mode runs default to a
+    generous backstop so a retransmission livelock cannot hang forever;
     [instrument] enables the per-fiber time breakdown (and optional
     Chrome-trace capture) — when left at {!Instrument.off} the run is
     byte-identical to an uninstrumented one. *)
 val dec :
   ?eager:bool ->
-  ?notice_policy:Shm_tmk.Config.notice_policy ->
+  ?protocol:string ->
   ?faults:Shm_net.Fabric.faults ->
   ?max_cycles:int ->
   ?instrument:Instrument.t ->
@@ -34,6 +54,7 @@ val dec :
 
 val as_machine :
   ?eager:bool ->
+  ?protocol:string ->
   ?overhead:Shm_net.Overhead.t ->
   ?faults:Shm_net.Fabric.faults ->
   ?max_cycles:int ->

@@ -4,27 +4,37 @@ module Counters = Shm_stats.Counters
 module Fabric = Shm_net.Fabric
 module Overhead = Shm_net.Overhead
 module Memory = Shm_memsys.Memory
-module Snoop = Shm_memsys.Snoop
-module Config = Shm_tmk.Config
-module System = Shm_tmk.System
 module Parmacs = Shm_parmacs.Parmacs
 
+let page_words = 512
+
 let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
-    ?(eager = false) ?(instrument = Instrument.off) () =
-  let name = Printf.sprintf "HS%d" node_cpus in
+    ?(eager = false) ?(protocol = "lrc") ?(instrument = Instrument.off) () =
+  let name =
+    if protocol = "lrc" then Printf.sprintf "HS%d" node_cpus
+    else Printf.sprintf "HS%d+%s" node_cpus protocol
+  in
+  let (module E : Shm_proto.ENGINE) = Shm_engines.get protocol in
+  (match E.kind with
+  | Shm_proto.Sdsm -> ()
+  | Shm_proto.Hw ->
+      invalid_arg
+        (Printf.sprintf
+           "platform %S runs a software-DSM protocol between its \
+            hardware-coherent nodes; protocol %S is a hardware \
+            cache-coherence engine (mount it on one of: sgi, sgi-fast, ah)"
+           name E.name));
+  let (module Node_eng : Shm_proto.ENGINE) = Shm_engines.get "mesi" in
   let run (app : Parmacs.app) ~nprocs =
     let n_nodes = (nprocs + node_cpus - 1) / node_cpus in
     let cpus_of_node n = min node_cpus (nprocs - (n * node_cpus)) in
     let eng = Instrument.engine instrument in
     let counters = Counters.create () in
-    let fabric =
-      Fabric.create eng counters (Fabric.atm_sim ~overhead) ~nodes:n_nodes
-    in
     (* Round up to whole pages: twins and diffs work page-at-a-time. *)
     let shared_words = (app.shared_words + 511) / 512 * 512 in
     let image = Memory.create ~words:shared_words in
     app.init image;
-    let total_words = shared_words + Hw_sync.region_words in
+    let total_words = shared_words + Shm_memsys.Hw_sync.region_words in
     let memories =
       Array.init n_nodes (fun _ ->
           let m = Memory.create ~words:total_words in
@@ -32,27 +42,45 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
             ~len:shared_words;
           m)
     in
-    let cfg =
-      {
-        (Config.default ~n_nodes ~shared_words) with
-        eager_locks = (if eager then app.eager_lock_hints else []);
-      }
+    let dsm =
+      E.mount
+        {
+          Shm_proto.eng;
+          counters;
+          fabric = Fabric.atm_sim ~overhead;
+          nodes = n_nodes;
+          page_words;
+          shared_words;
+          memories;
+          eager_lock_hints = (if eager then app.eager_lock_hints else []);
+          hw_profile = None;
+        }
     in
-    let sys = System.create eng counters fabric cfg ~memories in
-    let machines =
+    let node_insts =
       Array.init n_nodes (fun n ->
-          Snoop.create eng counters memories.(n)
-            (Snoop.hs_node_config ~n_cpus:(cpus_of_node n)))
+          Node_eng.mount
+            {
+              Shm_proto.eng;
+              counters;
+              fabric = Fabric.crossbar_sim (* unused: the node bus is wired *);
+              nodes = cpus_of_node n;
+              page_words;
+              shared_words;
+              memories = [| memories.(n) |];
+              eager_lock_hints = [];
+              hw_profile = Some Shm_proto.Hs_node_bus;
+            })
     in
-    System.set_page_hook sys (fun ~node ~page ->
-        Snoop.invalidate_range machines.(node)
-          ~addr:(page * cfg.page_words) ~words:cfg.page_words);
-    System.start sys;
+    dsm.Shm_proto.set_page_hook (fun ~node ~page ->
+        (Option.get node_insts.(node).Shm_proto.invalidate_range)
+          ~addr:(page * page_words) ~words:page_words);
+    dsm.Shm_proto.start ();
     (* Hierarchical barriers: an on-node counter in the node's sync region;
        the last processor on the node performs the DSM-level arrival. *)
-    let counter_addr b = shared_words + Hw_sync.max_locks + b in
+    let counter_addr b = shared_words + Shm_memsys.Hw_sync.max_locks + b in
     let gen_addr b =
-      shared_words + Hw_sync.max_locks + Hw_sync.max_barriers + b
+      shared_words + Shm_memsys.Hw_sync.max_locks
+      + Shm_memsys.Hw_sync.max_barriers + b
     in
     let barrier_waitqs =
       Array.init n_nodes (fun _ -> Hashtbl.create 8)
@@ -66,21 +94,22 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
           Hashtbl.add tbl b wq;
           wq
     in
+    let node_rmw n = Option.get node_insts.(n).Shm_proto.rmw in
     let node_barrier f ~node ~cpu b =
       Engine.with_category f Engine.Barrier_wait @@ fun () ->
-      let m = machines.(node) in
+      let rmw = node_rmw node in
       let arrived =
-        Int64.to_int (Snoop.rmw m f ~cpu (counter_addr b) Int64.succ) + 1
+        Int64.to_int (rmw f ~node:cpu (counter_addr b) Int64.succ) + 1
       in
       if arrived = cpus_of_node node then begin
-        ignore (Snoop.rmw m f ~cpu (counter_addr b) (fun _ -> 0L));
-        System.barrier_arrive sys f ~node ~id:b;
-        ignore (Snoop.rmw m f ~cpu (gen_addr b) Int64.succ);
+        ignore (rmw f ~node:cpu (counter_addr b) (fun _ -> 0L));
+        dsm.Shm_proto.barrier_arrive f ~node ~id:b;
+        ignore (rmw f ~node:cpu (gen_addr b) Int64.succ);
         ignore (Waitq.wake_all (waitq_of node b) ~at:(Engine.clock f))
       end
       else begin
         Waitq.wait f (waitq_of node b);
-        ignore (Snoop.read m f ~cpu (gen_addr b))
+        node_insts.(node).Shm_proto.read_guard f ~node:cpu (gen_addr b)
       end
     in
     let ends = Array.make nprocs 0 in
@@ -90,27 +119,28 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
         let cpu = p mod node_cpus in
         Engine.spawn eng ~name:(Printf.sprintf "n%dc%d" node cpu) ~at:0
            (fun f ->
-             let machine = machines.(node) in
+             let bus = node_insts.(node) in
              let read addr =
-               System.read_guard sys f ~node addr;
-               Snoop.read machine f ~cpu addr
+               dsm.Shm_proto.read_guard f ~node addr;
+               bus.Shm_proto.read_guard f ~node:cpu addr;
+               Memory.get memories.(node) addr
              and write addr v =
                (* Bus transaction first (it can yield), the DSM guard
                   second, the store immediately after: a same-node
                   release yielding in between would otherwise close
                   the interval and lose this write from its diff. *)
-               Snoop.write_timing machine f ~cpu addr;
-               System.write_guard sys f ~node addr;
+               bus.Shm_proto.write_guard f ~node:cpu addr;
+               dsm.Shm_proto.write_guard f ~node addr;
                Memory.set memories.(node) addr v
              in
              let fcell = ref 0.0 in
              let readf addr =
-               System.read_guard sys f ~node addr;
-               Snoop.read_timing machine f ~cpu addr;
+               dsm.Shm_proto.read_guard f ~node addr;
+               bus.Shm_proto.read_guard f ~node:cpu addr;
                fcell := Memory.get_float memories.(node) addr
              and writef addr =
-               Snoop.write_timing machine f ~cpu addr;
-               System.write_guard sys f ~node addr;
+               bus.Shm_proto.write_guard f ~node:cpu addr;
+               dsm.Shm_proto.write_guard f ~node addr;
                Memory.set_float memories.(node) addr !fcell
              in
              let ctx =
@@ -126,8 +156,8 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
                     too delicate to batch; ranges fall back to the literal
                     per-word loop here. *)
                  range = Parmacs.range_ops_wordwise ~read ~write;
-                 lock = (fun l -> System.acquire sys f ~node ~lock:l);
-                 unlock = (fun l -> System.release sys f ~node ~lock:l);
+                 lock = (fun l -> dsm.Shm_proto.acquire f ~node ~lock:l);
+                 unlock = (fun l -> dsm.Shm_proto.release f ~node ~lock:l);
                  barrier = (fun b -> node_barrier f ~node ~cpu b);
                  compute = (fun n -> Engine.advance f n);
                }
@@ -137,10 +167,12 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
     in
     (try Engine.run eng
      with Shm_sim.Engine.Deadlock _ as e ->
-       if Sys.getenv_opt "TMKDBG_LOCKS" <> None then
-         for l = 0 to 7 do
-           Printf.eprintf "lock %d: %s\n" l (System.dump_lock sys ~lock:l)
-         done;
+       (match (Sys.getenv_opt "TMKDBG_LOCKS", dsm.Shm_proto.dump_lock) with
+       | Some _, Some dump ->
+           for l = 0 to 7 do
+             Printf.eprintf "lock %d: %s\n" l (dump ~lock:l)
+           done
+       | _ -> ());
        raise e);
     Instrument.finish instrument counters fibers;
     {

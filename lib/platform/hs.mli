@@ -1,16 +1,20 @@
 (** The "Hardware-Software" design of paper Section 3: bus-based
     multiprocessor nodes (snooping coherence inside a node) connected by a
-    general-purpose network running TreadMarks between nodes.
+    general-purpose network running a software-DSM protocol between nodes.
 
     The DSM layer treats each node as one unit: faults merge, co-located
     processors' modifications coalesce into one diff, barriers are
     hierarchical (on-node counter, one arrival message per node), and a
-    lock whose token is on-node is acquired without messages. *)
+    lock whose token is on-node is acquired without messages.
+
+    [protocol] selects the inter-node engine (default ["lrc"]; any
+    software-DSM engine mounts — hardware engines are refused). *)
 
 val make :
   ?node_cpus:int ->
   ?overhead:Shm_net.Overhead.t ->
   ?eager:bool ->
+  ?protocol:string ->
   ?instrument:Instrument.t ->
   unit ->
   Platform.t

@@ -1,0 +1,114 @@
+module Engine = Shm_sim.Engine
+module Counters = Shm_stats.Counters
+module Fabric = Shm_net.Fabric
+module Memory = Shm_memsys.Memory
+module Parmacs = Shm_parmacs.Parmacs
+
+(* The generic hardware shared-memory machine: one physical memory, a
+   mounted hardware coherence engine providing access timing and the
+   flat test-and-set sync region above the application's space. *)
+
+let reject_sdsm ~platform_name (module E : Shm_proto.ENGINE) =
+  match E.kind with
+  | Shm_proto.Hw -> ()
+  | Shm_proto.Sdsm ->
+      invalid_arg
+        (Printf.sprintf
+           "platform %S has hardware cache coherence; protocol %S is a \
+            software-DSM engine (mount it on one of: treadmarks, \
+            treadmarks-kernel, treadmarks-eager, ivy, as, hs)"
+           platform_name E.name)
+
+let sync_region_words = Shm_memsys.Hw_sync.region_words
+
+let run ~engine:(module E : Shm_proto.ENGINE) ~instrument ~platform_name
+    ~clock_mhz ~profile (app : Parmacs.app) ~nprocs =
+  let eng = Instrument.engine instrument in
+  let counters = Counters.create () in
+  let total_words = app.shared_words + sync_region_words in
+  let mem = Memory.create ~words:total_words in
+  app.init mem;
+  let inst =
+    E.mount
+      {
+        Shm_proto.eng;
+        counters;
+        fabric = Fabric.crossbar_sim (* unused: hardware engines are wired *);
+        nodes = nprocs;
+        page_words = 512;
+        shared_words = app.shared_words;
+        memories = [| mem |];
+        eager_lock_hints = [];
+        hw_profile = Some profile;
+      }
+  in
+  inst.Shm_proto.start ();
+  let ends = Array.make nprocs 0 in
+  let fibers =
+    Array.init nprocs (fun cpu ->
+      Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:0 (fun f ->
+           let fcell = ref 0.0 in
+           let ctx =
+             {
+               Parmacs.id = cpu;
+               nprocs;
+               read =
+                 (fun addr ->
+                   inst.Shm_proto.read_guard f ~node:cpu addr;
+                   Memory.get mem addr);
+               write =
+                 (fun addr v ->
+                   inst.Shm_proto.write_guard f ~node:cpu addr;
+                   Memory.set mem addr v);
+               fcell;
+               readf =
+                 (fun addr ->
+                   inst.Shm_proto.read_guard f ~node:cpu addr;
+                   fcell := Memory.get_float mem addr);
+               writef =
+                 (fun addr ->
+                   inst.Shm_proto.write_guard f ~node:cpu addr;
+                   Memory.set_float mem addr !fcell);
+               range =
+                 Parmacs.range_ops_of_runs ~mem
+                   ~read_run:(fun addr words ~f:move ->
+                     inst.Shm_proto.read_range_guard f ~node:cpu addr words
+                       ~f:move)
+                   ~write_run:(fun addr words ~f:move ->
+                     inst.Shm_proto.write_range_guard f ~node:cpu addr words
+                       ~f:move);
+               lock = (fun l -> inst.Shm_proto.acquire f ~node:cpu ~lock:l);
+               unlock = (fun l -> inst.Shm_proto.release f ~node:cpu ~lock:l);
+               barrier =
+                 (fun b -> inst.Shm_proto.barrier_arrive f ~node:cpu ~id:b);
+               compute = (fun n -> Engine.advance f n);
+             }
+           in
+           app.work ctx;
+           ends.(cpu) <- Engine.clock f))
+  in
+  Engine.run eng;
+  inst.Shm_proto.check_invariants ();
+  Instrument.finish instrument counters fibers;
+  {
+    Report.platform = platform_name;
+    app = app.name;
+    nprocs;
+    cycles = Array.fold_left max 0 ends;
+    clock_mhz;
+    checksum = Parmacs.checksum_of mem app;
+    counters = Counters.to_list counters;
+  }
+
+let make ~default_protocol ?protocol ?(instrument = Instrument.off) ~name
+    ~clock_mhz ~max_procs ~profile () =
+  let protocol = Option.value protocol ~default:default_protocol in
+  let engine = Shm_engines.get protocol in
+  reject_sdsm ~platform_name:name engine;
+  let name = if protocol = default_protocol then name else name ^ "+" ^ protocol in
+  {
+    Platform.name;
+    clock_mhz;
+    max_procs;
+    run = run ~engine ~instrument ~platform_name:name ~clock_mhz ~profile;
+  }

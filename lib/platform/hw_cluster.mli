@@ -1,0 +1,21 @@
+(** The generic hardware shared-memory machine: a single physical memory
+    kept coherent by a mounted hardware {!Shm_proto.ENGINE}, with flat
+    test-and-set locks and barriers in a reserved region above the
+    application's shared space.  {!Sgi} and {!Ah} are named instances. *)
+
+(** [make ~default_protocol ~name ~clock_mhz ~max_procs ~profile ()]
+    builds the platform, mounting [?protocol] (default
+    [default_protocol]); a non-default protocol is reflected in the
+    platform name as ["name+protocol"].  @raise Invalid_argument if the
+    engine is a software-DSM engine, mirroring the fault-policy refusal
+    in {!Machines.get}. *)
+val make :
+  default_protocol:string ->
+  ?protocol:string ->
+  ?instrument:Instrument.t ->
+  name:string ->
+  clock_mhz:float ->
+  max_procs:int ->
+  profile:Shm_proto.hw_profile ->
+  unit ->
+  Platform.t

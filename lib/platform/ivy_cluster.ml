@@ -1,128 +1,16 @@
-module Engine = Shm_sim.Engine
-module Counters = Shm_stats.Counters
 module Fabric = Shm_net.Fabric
 module Overhead = Shm_net.Overhead
-module Memory = Shm_memsys.Memory
 module Private_cache = Shm_memsys.Private_cache
-module Ivy = Shm_ivy.System
-module Parmacs = Shm_parmacs.Parmacs
 
-let page_words = 512
-
-(* See dsm_cluster.ml: watchdog backstop for fault-mode runs. *)
-let default_fault_watchdog = 200_000_000_000
-
-let make ?(faults = Shm_net.Fabric.no_faults) ?max_cycles
-    ?(instrument = Instrument.off) () =
-  let run (app : Parmacs.app) ~nprocs =
-    let eng = Instrument.engine instrument in
-    let counters = Counters.create () in
-    let fabric =
-      Fabric.create eng counters
-        { (Fabric.atm_dec ~overhead:Overhead.treadmarks_user) with
-          Fabric.faults }
-        ~nodes:nprocs
-    in
-    let shared_words = (app.shared_words + page_words - 1) / page_words * page_words in
-    let image = Memory.create ~words:shared_words in
-    app.init image;
-    let memories =
-      Array.init nprocs (fun _ ->
-          let m = Memory.create ~words:shared_words in
-          Memory.copy_all ~src:image ~dst:m;
-          m)
-    in
-    let sys = Ivy.create eng counters fabric ~page_words ~shared_words ~memories in
-    let caches =
-      Array.init nprocs (fun _ -> Private_cache.create Private_cache.dec_config)
-    in
-    Ivy.set_page_hook sys (fun ~node ~page ->
-        Private_cache.invalidate_range caches.(node) ~addr:(page * page_words)
-          ~words:page_words);
-    Ivy.start sys;
-    let ends = Array.make nprocs 0 in
-    let fibers =
-      Array.init nprocs (fun node ->
-        Engine.spawn eng ~name:(Printf.sprintf "cpu%d" node) ~at:0 (fun f ->
-             let mem = memories.(node) and pc = caches.(node) in
-             (* Software-TLB fast path: skip the guard when the rights byte
-                already grants the access (see dsm_cluster.ml). *)
-             let rights = Ivy.access_rights sys ~node in
-             let shift = Ivy.page_shift sys in
-             assert (shift >= 0);
-             let read addr =
-               if Bytes.unsafe_get rights (addr lsr shift) = '\000' then
-                 Ivy.read_guard sys f ~node addr;
-               Private_cache.read pc f addr;
-               Memory.get mem addr
-             and write addr v =
-               if Bytes.unsafe_get rights (addr lsr shift) <> '\002' then
-                 Ivy.write_guard sys f ~node addr;
-               Private_cache.write pc f addr;
-               Memory.set mem addr v
-             in
-             let fcell = ref 0.0 in
-             let readf addr =
-               if Bytes.unsafe_get rights (addr lsr shift) = '\000' then
-                 Ivy.read_guard sys f ~node addr;
-               Private_cache.read pc f addr;
-               fcell := Memory.get_float mem addr
-             and writef addr =
-               if Bytes.unsafe_get rights (addr lsr shift) <> '\002' then
-                 Ivy.write_guard sys f ~node addr;
-               Private_cache.write pc f addr;
-               Memory.set_float mem addr !fcell
-             in
-             let range =
-               Parmacs.range_ops_of_runs ~mem
-                 ~read_run:(fun addr words ~f:move ->
-                   Ivy.read_range_guard sys f ~node addr words
-                     ~f:(fun p l ->
-                       Private_cache.read_range pc f p l;
-                       move p l))
-                 ~write_run:(fun addr words ~f:move ->
-                   Ivy.write_range_guard sys f ~node addr words
-                     ~f:(fun p l ->
-                       Private_cache.write_range pc f p l;
-                       move p l))
-             in
-             let ctx =
-               {
-                 Parmacs.id = node;
-                 nprocs;
-                 read;
-                 write;
-                 fcell;
-                 readf;
-                 writef;
-                 range;
-                 lock = (fun l -> Ivy.acquire sys f ~node ~lock:l);
-                 unlock = (fun l -> Ivy.release sys f ~node ~lock:l);
-                 barrier = (fun b -> Ivy.barrier_arrive sys f ~node ~id:b);
-                 compute = (fun n -> Engine.advance f n);
-               }
-             in
-             app.work ctx;
-             ends.(node) <- Engine.clock f))
-    in
-    let max_cycles =
-      match max_cycles with
-      | Some _ -> max_cycles
-      | None ->
-          if Fabric.faults_active faults then Some default_fault_watchdog
-          else None
-    in
-    Engine.run ?max_cycles ~diag:(fun () -> Ivy.retx_note sys) eng;
-    Ivy.check_invariants sys;
-    Instrument.finish instrument counters fibers;
-    {
-      Report.platform = "ivy";
-      app = app.name;
-      nprocs;
-      cycles = Array.fold_left max 0 ends;
-      clock_mhz = 40.0;
-      checksum = Parmacs.checksum_of memories.(0) app;
-      counters = Counters.to_list counters;
-    }
+(* The DECstation cluster with the IVY engine mounted by default: same
+   hardware as Dsm_cluster.dec, different coherence protocol.  Kept as a
+   named machine because it is the paper-adjacent ablation baseline. *)
+let make ?(protocol = "ivy") ?faults ?max_cycles ?instrument () =
+  let name = if protocol = "ivy" then "ivy" else "ivy+" ^ protocol in
+  let p =
+    Dsm_cluster.make ~engine:(Shm_engines.get protocol) ?faults ?max_cycles
+      ?instrument ~name ~clock_mhz:40.0 ~max_procs:64
+      ~fabric_of:(fun () -> Fabric.atm_dec ~overhead:Overhead.treadmarks_user)
+      ~cache_cfg:Private_cache.dec_config ~eager:false ()
   in
-  { Platform.name = "ivy"; clock_mhz = 40.0; max_procs = 64; run }
+  p

@@ -1,10 +1,16 @@
 (** The DECstation cluster running the IVY-style sequentially-consistent
     page DSM instead of TreadMarks — the baseline software shared memory
     that lazy release consistency was designed to improve on (an ablation
-    beyond the paper's own comparisons; see DESIGN.md). *)
+    beyond the paper's own comparisons; see DESIGN.md).
+
+    [protocol] overrides the mounted engine (default ["ivy"]); it exists
+    so the machine composes with the registry like every other platform,
+    but mounting something else here is equivalent to using
+    {!Dsm_cluster.dec} with that protocol on a wider cluster. *)
 
 (** [faults] / [max_cycles] / [instrument] as in {!Dsm_cluster.dec}. *)
 val make :
+  ?protocol:string ->
   ?faults:Shm_net.Fabric.faults ->
   ?max_cycles:int ->
   ?instrument:Instrument.t ->

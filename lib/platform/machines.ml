@@ -8,6 +8,8 @@ let fault_capable =
   [ "treadmarks"; "treadmarks-kernel"; "treadmarks-eager"; "treadmarks-erc";
     "ivy"; "as" ]
 
+let protocols = Shm_engines.names
+
 let reject_faults name faults =
   match faults with
   | Some f when Shm_net.Fabric.faults_active f ->
@@ -19,35 +21,50 @@ let reject_faults name faults =
            (String.concat ", " fault_capable))
   | _ -> ()
 
-let get ?faults ?max_cycles ?instrument name =
+let reject_protocol name protocol =
+  match protocol with
+  | Some p ->
+      invalid_arg
+        (Printf.sprintf
+           "platform %S is a uniprocessor and mounts no coherence engine; \
+            protocol %S applies only to the shared-memory platforms (%s)"
+           name p
+           (String.concat ", " (List.filter (fun n -> n <> "dec") names)))
+  | None -> ()
+
+let get ?faults ?max_cycles ?instrument ?protocol name =
   match name with
   | "dec" ->
       reject_faults name faults;
+      reject_protocol name protocol;
       Dsm_cluster.dec_plain ?instrument ()
   | "treadmarks" ->
-      Dsm_cluster.dec ?faults ?max_cycles ?instrument ~level:Dsm_cluster.User ()
+      Dsm_cluster.dec ?faults ?max_cycles ?instrument ?protocol
+        ~level:Dsm_cluster.User ()
   | "treadmarks-kernel" ->
-      Dsm_cluster.dec ?faults ?max_cycles ?instrument ~level:Dsm_cluster.Kernel
-        ()
+      Dsm_cluster.dec ?faults ?max_cycles ?instrument ?protocol
+        ~level:Dsm_cluster.Kernel ()
   | "treadmarks-eager" ->
-      Dsm_cluster.dec ?faults ?max_cycles ?instrument ~eager:true
+      Dsm_cluster.dec ?faults ?max_cycles ?instrument ?protocol ~eager:true
         ~level:Dsm_cluster.User ()
   | "treadmarks-erc" ->
       Dsm_cluster.dec ?faults ?max_cycles ?instrument
-        ~notice_policy:Shm_tmk.Config.Eager_invalidate ~level:Dsm_cluster.User
-        ()
-  | "ivy" -> Ivy_cluster.make ?faults ?max_cycles ?instrument ()
+        ~protocol:(Option.value protocol ~default:"erc")
+        ~level:Dsm_cluster.User ()
+  | "ivy" ->
+      Ivy_cluster.make ?faults ?max_cycles ?instrument
+        ~protocol:(Option.value protocol ~default:"ivy") ()
   | "sgi" ->
       reject_faults name faults;
-      Sgi.make ?instrument ()
+      Sgi.make ?protocol ?instrument ()
   | "sgi-fast" ->
       reject_faults name faults;
-      Sgi.make_fast ?instrument ()
-  | "as" -> Dsm_cluster.as_machine ?faults ?max_cycles ?instrument ()
+      Sgi.make_fast ?protocol ?instrument ()
+  | "as" -> Dsm_cluster.as_machine ?faults ?max_cycles ?instrument ?protocol ()
   | "ah" ->
       reject_faults name faults;
-      Ah.make ?instrument ()
+      Ah.make ?protocol ?instrument ()
   | "hs" ->
       reject_faults name faults;
-      Hs.make ?instrument ()
+      Hs.make ?protocol ?instrument ()
   | name -> invalid_arg (Printf.sprintf "unknown platform %S" name)

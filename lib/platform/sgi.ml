@@ -1,101 +1,13 @@
-module Engine = Shm_sim.Engine
-module Counters = Shm_stats.Counters
-module Memory = Shm_memsys.Memory
-module Snoop = Shm_memsys.Snoop
-module Parmacs = Shm_parmacs.Parmacs
-
-let run_on_snoop ?(instrument = Instrument.off) ~platform_name ~clock_mhz
-    ~config_of (app : Parmacs.app) ~nprocs =
-  let eng = Instrument.engine instrument in
-  let counters = Counters.create () in
-  let total_words = app.shared_words + Hw_sync.region_words in
-  let mem = Memory.create ~words:total_words in
-  app.init mem;
-  let machine = Snoop.create eng counters mem (config_of ~n_cpus:nprocs) in
-  let access =
-    {
-      Hw_sync.rmw = (fun f ~cpu addr g -> Snoop.rmw machine f ~cpu addr g);
-      read = (fun f ~cpu addr -> ignore (Snoop.read machine f ~cpu addr));
-    }
-  in
-  let sync = Hw_sync.create eng access ~base:app.shared_words ~nprocs in
-  let ends = Array.make nprocs 0 in
-  let fibers =
-    Array.init nprocs (fun cpu ->
-      Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:0 (fun f ->
-           let fcell = ref 0.0 in
-           let ctx =
-             {
-               Parmacs.id = cpu;
-               nprocs;
-               read = (fun addr -> Snoop.read machine f ~cpu addr);
-               write = (fun addr v -> Snoop.write machine f ~cpu addr v);
-               fcell;
-               readf =
-                 (fun addr ->
-                   Snoop.read_timing machine f ~cpu addr;
-                   fcell := Memory.get_float mem addr);
-               writef =
-                 (fun addr ->
-                   Snoop.write_timing machine f ~cpu addr;
-                   Memory.set_float mem addr !fcell);
-               range =
-                 Parmacs.range_ops_of_runs ~mem
-                   ~read_run:(fun addr words ~f:move ->
-                     Snoop.read_range machine f ~cpu addr words ~f:move)
-                   ~write_run:(fun addr words ~f:move ->
-                     Snoop.write_range machine f ~cpu addr words ~f:move);
-               lock = (fun l -> Hw_sync.lock sync f ~cpu l);
-               unlock = (fun l -> Hw_sync.unlock sync f ~cpu l);
-               barrier = (fun b -> Hw_sync.barrier sync f ~cpu b);
-               compute = (fun n -> Engine.advance f n);
-             }
-           in
-           app.work ctx;
-           ends.(cpu) <- Engine.clock f))
-  in
-  Engine.run eng;
-  Snoop.check_coherence machine;
-  Instrument.finish instrument counters fibers;
-  {
-    Report.platform = platform_name;
-    app = app.name;
-    nprocs;
-    cycles = Array.fold_left max 0 ends;
-    clock_mhz;
-    checksum = Parmacs.checksum_of mem app;
-    counters = Counters.to_list counters;
-  }
-
-let make ?(instrument = Instrument.off) () =
-  {
-    Platform.name = "sgi-4d480";
-    clock_mhz = 40.0;
-    max_procs = 8;
-    run =
-      run_on_snoop ~instrument ~platform_name:"sgi-4d480" ~clock_mhz:40.0
-        ~config_of:(fun ~n_cpus -> Snoop.sgi_config ~n_cpus);
-  }
+let make ?protocol ?instrument () =
+  Hw_cluster.make ~default_protocol:"mesi" ?protocol ?instrument
+    ~name:"sgi-4d480" ~clock_mhz:40.0 ~max_procs:8 ~profile:Shm_proto.Sgi_bus
+    ()
 
 (* Paper Section 2.5: "Dual cache tags and a faster bus, relative to the
    speed of the processors, are necessary to overcome the bandwidth
-   limitation on the SGI."  This variant doubles the sustained bus
+   limitation on the SGI."  The fast profile doubles the sustained bus
    bandwidth and halves the snoop/upgrade occupancy (dual tags). *)
-let make_fast ?(instrument = Instrument.off) () =
-  let config_of ~n_cpus =
-    let base = Snoop.sgi_config ~n_cpus in
-    {
-      base with
-      Snoop.bus_block_cycles = base.Snoop.bus_block_cycles / 2;
-      bus_upgrade_cycles = base.Snoop.bus_upgrade_cycles / 2;
-      memory_extra_cycles = base.Snoop.memory_extra_cycles / 2;
-    }
-  in
-  {
-    Platform.name = "sgi-fastbus";
-    clock_mhz = 40.0;
-    max_procs = 8;
-    run =
-      run_on_snoop ~instrument ~platform_name:"sgi-fastbus" ~clock_mhz:40.0
-        ~config_of;
-  }
+let make_fast ?protocol ?instrument () =
+  Hw_cluster.make ~default_protocol:"mesi" ?protocol ?instrument
+    ~name:"sgi-fastbus" ~clock_mhz:40.0 ~max_procs:8
+    ~profile:Shm_proto.Sgi_bus_fast ()

@@ -1,9 +1,13 @@
 (** The SGI 4D/480 model: up to 8 processors with snooping (Illinois)
-    cache coherence over a shared bus — the paper's hardware platform. *)
+    cache coherence over a shared bus — the paper's hardware platform.
+
+    [protocol] overrides the mounted engine (default ["mesi"]); only
+    hardware engines mount here. *)
 
 (** [instrument] as in {!Dsm_cluster.dec}. *)
-val make : ?instrument:Instrument.t -> unit -> Platform.t
+val make : ?protocol:string -> ?instrument:Instrument.t -> unit -> Platform.t
 
 (** The paper's Section-2.5 hypothetical: dual cache tags and a bus twice
     as fast relative to the processors. *)
-val make_fast : ?instrument:Instrument.t -> unit -> Platform.t
+val make_fast :
+  ?protocol:string -> ?instrument:Instrument.t -> unit -> Platform.t

@@ -1,4 +1,4 @@
-type notice_policy = Lazy | Eager_invalidate
+type notice_policy = Lazy | Eager_invalidate | Eager_update
 
 type t = {
   n_nodes : int;

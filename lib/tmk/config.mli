@@ -5,8 +5,12 @@
     conventional (Munin-style) eager release consistency: every release
     broadcasts the closing interval's notices so all copies invalidate
     immediately — correct for any program, at a per-release broadcast
-    cost (the message blow-up LRC was designed to eliminate). *)
-type notice_policy = Lazy | Eager_invalidate
+    cost (the message blow-up LRC was designed to eliminate).
+    [Eager_update] pushes the closing interval's {e diffs} (not just
+    notices) to every node at each release and barrier arrival — the
+    mechanism behind the paper's proposed fix for TSP's stale bound
+    (Section 2.4.3), generalised from per-lock hints to every interval. *)
+type notice_policy = Lazy | Eager_invalidate | Eager_update
 
 type t = {
   n_nodes : int;

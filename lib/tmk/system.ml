@@ -686,6 +686,7 @@ let after_close t fiber nd ~lock closed =
   | Some record -> (
       match t.cfg.notice_policy with
       | Config.Eager_invalidate -> eager_notice_broadcast t fiber nd record
+      | Config.Eager_update -> eager_broadcast t fiber nd record
       | Config.Lazy ->
           if
             match lock with

@@ -70,7 +70,7 @@ let test_erc_page_invalid_after_release () =
 let test_erc_matches_lazy_results () =
   let lazy_p = Dsm_cluster.dec ~level:Dsm_cluster.User () in
   let erc_p =
-    Dsm_cluster.dec ~notice_policy:Config.Eager_invalidate
+    Dsm_cluster.dec ~protocol:"erc"
       ~level:Dsm_cluster.User ()
   in
   List.iter
@@ -85,7 +85,7 @@ let test_erc_matches_lazy_results () =
 let test_erc_message_blowup () =
   let lazy_p = Dsm_cluster.dec ~level:Dsm_cluster.User () in
   let erc_p =
-    Dsm_cluster.dec ~notice_policy:Config.Eager_invalidate
+    Dsm_cluster.dec ~protocol:"erc"
       ~level:Dsm_cluster.User ()
   in
   let msgs p =

@@ -153,7 +153,7 @@ let platforms () =
   [
     ("treadmarks", Dsm_cluster.dec ~level:Dsm_cluster.User ());
     ("treadmarks-erc",
-     Dsm_cluster.dec ~notice_policy:Shm_tmk.Config.Eager_invalidate
+     Dsm_cluster.dec ~protocol:"erc"
        ~level:Dsm_cluster.User ());
     ("ivy", Machines.get "ivy");
     ("sgi", Machines.get "sgi");

@@ -12,6 +12,7 @@ let () =
       ("tmk-edge", Test_tmk_edge.suite);
       ("ivy", Test_ivy.suite);
       ("erc", Test_erc.suite);
+      ("proto", Test_proto.suite);
       ("apps", Test_apps.suite);
       ("apps-extra", Test_apps_extra.suite);
       ("patterns", Test_patterns.suite);

@@ -160,7 +160,7 @@ let test_kernel_beats_user_on_water () =
 (* Hw_sync: lock mutual exclusion on the snooping machine. *)
 let test_hw_sync_mutual_exclusion () =
   let module Engine = Shm_sim.Engine in
-  let module Hw_sync = Shm_platform.Hw_sync in
+  let module Hw_sync = Shm_memsys.Hw_sync in
   let module Snoop = Shm_memsys.Snoop in
   let module Memory = Shm_memsys.Memory in
   let module Counters = Shm_stats.Counters in
@@ -196,7 +196,7 @@ let test_hw_sync_mutual_exclusion () =
 (* Hw_sync: barrier really separates phases. *)
 let test_hw_sync_barrier_phases () =
   let module Engine = Shm_sim.Engine in
-  let module Hw_sync = Shm_platform.Hw_sync in
+  let module Hw_sync = Shm_memsys.Hw_sync in
   let module Snoop = Shm_memsys.Snoop in
   let module Memory = Shm_memsys.Memory in
   let module Counters = Shm_stats.Counters in

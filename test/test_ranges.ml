@@ -140,7 +140,7 @@ let backends () =
     ("dec", Dsm_cluster.dec_plain (), 1);
     ("treadmarks", Dsm_cluster.dec ~level:Dsm_cluster.User (), nprocs);
     ( "treadmarks-erc",
-      Dsm_cluster.dec ~notice_policy:Shm_tmk.Config.Eager_invalidate
+      Dsm_cluster.dec ~protocol:"erc"
         ~level:Dsm_cluster.User (),
       nprocs );
     ("ivy", Ivy_cluster.make (), nprocs);
