@@ -11,6 +11,8 @@
      dune exec bench/main.exe -- --jobs 4     -- run simulations on 4 domains
      dune exec bench/main.exe -- --json PATH  -- results file (BENCH_access.json)
      dune exec bench/main.exe -- --skip-micro
+     dune exec bench/main.exe -- --pool-probe -- time a fixed run set at
+                                                 jobs=1 vs jobs=4
 
    Independent simulation runs execute on a pool of OCaml 5 domains
    (default: Domain.recommended_domain_count () - 1; override with
@@ -47,6 +49,7 @@ let skip_micro = ref false
 let list_only = ref false
 let jobs_arg = ref 0 (* 0 = auto: SHMCS_JOBS or recommended_domain_count - 1 *)
 let json_path = ref "BENCH_access.json"
+let pool_probe_arg = ref false
 
 (* ------------------------------------------------------------------ *)
 (* Scheduled runs: several figures share the same (app, platform, n),   *)
@@ -764,7 +767,7 @@ let micro () =
            ignore (Cache.probe c !i)))
   in
   let pqueue_churn =
-    let q = Pqueue.create () in
+    let q = Pqueue.create ~dummy:() in
     let t = ref 0 in
     Test.make ~name:"event-queue push+pop"
       (Staged.stage (fun () ->
@@ -1144,6 +1147,50 @@ let experiments =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Domain-pool probe: wall-clock one fixed run set through a 1-wide and
+   a 4-wide pool.  Whole-suite wall times at different --jobs are not
+   comparable from a single run (per-run walls measured inside workers
+   inflate under oversubscription), so the probe re-executes the same
+   runs through fresh pools and reports outside-the-pool walls.  On a
+   host with a single core the honest result is a slowdown; the probe
+   records whatever the host delivers. *)
+
+let pool_probe () =
+  (* Water is the heaviest section-2 app, so the probe measures pool
+     behaviour rather than domain spawn overhead. *)
+  let app = Registry.app ~scale:!scale "water" in
+  let run_set () =
+    (dec (), "dec", 1)
+    :: List.concat_map
+         (fun n -> [ (tmk (), "treadmarks", n); (sgi (), "sgi", n) ])
+         procs_sec2
+  in
+  let time_with ~jobs =
+    let pool = Pool.create ~jobs in
+    let probe_cache : (run_key, timed) Run_cache.t = Run_cache.create pool in
+    let t0 = Unix.gettimeofday () in
+    let futs =
+      List.map
+        (fun (platform, platform_key, n) ->
+          let key = { app_key = "water"; platform_key; n } in
+          Run_cache.find_or_submit probe_cache key (execute key platform app))
+        (run_set ())
+    in
+    List.iter (fun f -> ignore (Future.await f)) futs;
+    let wall = Unix.gettimeofday () -. t0 in
+    Pool.shutdown pool;
+    wall
+  in
+  let jobs1 = time_with ~jobs:1 in
+  let jobs4 = time_with ~jobs:4 in
+  Printf.printf
+    "Pool probe (water, DEC/TreadMarks/SGI, 1-8 procs): jobs=1 %.2f s, \
+     jobs=4 %.2f s (speedup %.2fx)\n"
+    jobs1 jobs4
+    (if jobs4 > 0.0 then jobs1 /. jobs4 else 0.0);
+  (jobs1, jobs4)
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable results: BENCH_access.json                         *)
 
 (* Hand-rolled JSON writer (no JSON library in the tree).  Floats use
@@ -1169,15 +1216,23 @@ let json_float f =
     Printf.sprintf "%.1f" f
   else Printf.sprintf "%.17g" f
 
-(* Schema bench_access/3: every executed experiment's wall time, the
+(* Schema bench_access/4: every executed experiment's wall time, the
    domain-pool width, and a sequential-equivalent estimate (the sum of
    per-run walls measured inside the workers — what the suite would cost
    with --jobs 1).  Runs appear in submission order, which is the same at
    any --jobs; only runs whose results a table or figure consumed are
-   recorded, so the run list is identical across pool widths too.  /3 adds
-   per-run offered/delivered/dropped/retrans reliability counters (all
-   equal to messages / zero on the bench's fault-free runs). *)
-let write_bench_json ~path ~jobs ~total_wall ~experiment_walls =
+   recorded, so the run list is identical across pool widths too.  /3
+   added per-run offered/delivered/dropped/retrans reliability counters
+   (all equal to messages / zero on the bench's fault-free runs).  /4
+   adds the simulator-throughput exhibit: per-run "mcycles_per_s"
+   (simulated cycles retired per wall second), the aggregate
+   "mcycles_per_s" over all recorded runs, "pool_speedup"
+   (sequential-equivalent wall over this run's wall, i.e. what --jobs
+   bought relative to --jobs 1) and "host_cores" so throughput numbers
+   can be compared across hosts; with --pool-probe it also records
+   "pool_probe" — outside-the-pool walls of one fixed run set executed
+   at jobs=1 and jobs=4 (the only fair cross-width comparison). *)
+let write_bench_json ~path ~jobs ~total_wall ~experiment_walls ~probe =
   let runs =
     List.filter_map
       (fun (key, fut) ->
@@ -1189,14 +1244,34 @@ let write_bench_json ~path ~jobs ~total_wall ~experiment_walls =
   let sequential_equivalent =
     List.fold_left (fun acc (_, tr) -> acc +. tr.wall) 0.0 runs
   in
+  let total_sim_cycles =
+    List.fold_left (fun acc (_, tr) -> acc + tr.report.Report.cycles) 0 runs
+  in
+  let mcycles_per_s cycles wall =
+    if wall > 0.0 then float_of_int cycles /. wall /. 1e6 else 0.0
+  in
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"bench_access/3\",\n";
+  out "  \"schema\": \"bench_access/4\",\n";
   out "  \"scale\": %S,\n" (Registry.scale_name !scale);
   out "  \"jobs\": %d,\n" jobs;
+  out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"total_wall_s\": %s,\n" (json_float total_wall);
   out "  \"sequential_equivalent_s\": %s,\n" (json_float sequential_equivalent);
+  out "  \"pool_speedup\": %s,\n"
+    (json_float
+       (if total_wall > 0.0 then sequential_equivalent /. total_wall else 0.0));
+  out "  \"mcycles_per_s\": %s,\n"
+    (json_float (mcycles_per_s total_sim_cycles sequential_equivalent));
+  (match probe with
+  | None -> ()
+  | Some (jobs1, jobs4) ->
+      out
+        "  \"pool_probe\": {\"experiment\": \"sec2-water\", \"jobs1_wall_s\": \
+         %s, \"jobs4_wall_s\": %s, \"jobs4_speedup\": %s},\n"
+        (json_float jobs1) (json_float jobs4)
+        (json_float (if jobs4 > 0.0 then jobs1 /. jobs4 else 0.0)));
   out "  \"experiments\": [\n";
   let n_exp = List.length experiment_walls in
   List.iteri
@@ -1213,12 +1288,13 @@ let write_bench_json ~path ~jobs ~total_wall ~experiment_walls =
       out
         "    {\"app\": \"%s\", \"platform\": \"%s\", \"nprocs\": %d, \
          \"wall_s\": %s, \"sim_cycles\": %d, \"sim_s\": %s, \
-         \"messages\": %d, \"kbytes\": %d, \"offered\": %d, \
-         \"delivered\": %d, \"dropped\": %d, \"retrans\": %d, \
-         \"checksum\": %s}%s\n"
+         \"mcycles_per_s\": %s, \"messages\": %d, \"kbytes\": %d, \
+         \"offered\": %d, \"delivered\": %d, \"dropped\": %d, \
+         \"retrans\": %d, \"checksum\": %s}%s\n"
         (json_escape app_key) (json_escape platform_key) n (json_float wall)
         r.Report.cycles
         (json_float (Report.seconds r))
+        (json_float (mcycles_per_s r.Report.cycles wall))
         (Report.get r "net.msgs.total")
         (Report.get r "net.bytes.total" / 1024)
         (Report.offered r) (Report.delivered r) (Report.dropped r)
@@ -1241,6 +1317,9 @@ let parse_args () =
         go rest
     | "--skip-micro" :: rest ->
         skip_micro := true;
+        go rest
+    | "--pool-probe" :: rest ->
+        pool_probe_arg := true;
         go rest
     | "--only" :: ids :: rest ->
         only := String.split_on_char ',' (String.lowercase_ascii ids);
@@ -1306,8 +1385,9 @@ let () =
     let total_wall = Unix.gettimeofday () -. t0 in
     Printf.printf "Total wall time: %.1f s\n" total_wall;
     Pool.shutdown pool;
+    let probe = if !pool_probe_arg then Some (pool_probe ()) else None in
     let path = !json_path in
     write_bench_json ~path ~jobs ~total_wall
-      ~experiment_walls:(List.rev !experiment_walls);
+      ~experiment_walls:(List.rev !experiment_walls) ~probe;
     Printf.printf "Wrote %s\n" path
   end

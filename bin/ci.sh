@@ -54,31 +54,44 @@ if grep -nE 'Shm_tmk\.|Shm_ivy\.|Shm_tardis\.|Snoop\.|Directory\.|Shm_memsys\.Sn
 fi
 
 # Bench smoke under a parallel pool: one quick-scale exhibit with
-# --jobs 2 must succeed and emit a valid bench_access/3 JSON report.
+# --jobs 2 must succeed and emit a valid bench_access/4 JSON report,
+# byte-identical to the same exhibit at --jobs 1 modulo the wall-time
+# fields (run results and order must not depend on the pool width).
 smoke_json=$(mktemp)
+smoke1_json=$(mktemp)
 clean_json=$(mktemp)
 chaos_json=$(mktemp)
-trap 'rm -f "$smoke_json" "$clean_json" "$chaos_json" ${trace_json:+"$trace_json"} ${traced_run_json:+"$traced_run_json"}' EXIT
+trap 'rm -f "$smoke_json" "$smoke1_json" "$clean_json" "$chaos_json" ${trace_json:+"$trace_json"} ${traced_run_json:+"$traced_run_json"}' EXIT
 dune exec bench/main.exe -- --scale quick --only f3 --jobs 2 \
   --json "$smoke_json" >/dev/null
-if command -v jq >/dev/null 2>&1; then
-  schema=$(jq -r .schema "$smoke_json")
-  jobs=$(jq -r .jobs "$smoke_json")
-  nruns=$(jq '.runs | length' "$smoke_json")
-  if [ "$schema" != "bench_access/3" ] || [ "$jobs" != 2 ] || \
-     [ "$nruns" -lt 1 ]; then
-    echo "ci: bad bench JSON (schema=$schema jobs=$jobs runs=$nruns)" >&2
-    exit 1
-  fi
-else
-  python3 -c '
+dune exec bench/main.exe -- --scale quick --only f3 --jobs 1 \
+  --json "$smoke1_json" >/dev/null
+python3 - "$smoke_json" "$smoke1_json" <<'EOF'
 import json, sys
-d = json.load(open(sys.argv[1]))
-assert d["schema"] == "bench_access/3", d["schema"]
-assert d["jobs"] == 2, d["jobs"]
-assert len(d["runs"]) >= 1
-' "$smoke_json"
-fi
+
+d2 = json.load(open(sys.argv[1]))
+d1 = json.load(open(sys.argv[2]))
+assert d2["schema"] == "bench_access/4", d2["schema"]
+assert d2["jobs"] == 2 and d1["jobs"] == 1, (d2["jobs"], d1["jobs"])
+assert len(d2["runs"]) >= 1
+assert d2["host_cores"] >= 1 and d2["pool_speedup"] > 0
+
+# Simulation results are deterministic: everything but host-side timing
+# must be identical between --jobs 1 and --jobs 2.
+timing = ("wall_s", "mcycles_per_s")
+strip = lambda r: {k: v for k, v in r.items() if k not in timing}
+r1, r2 = [strip(r) for r in d1["runs"]], [strip(r) for r in d2["runs"]]
+assert r1 == r2, "bench runs differ between --jobs 1 and --jobs 2"
+
+# Perf smoke: aggregate simulator throughput on this exhibit.  The seed
+# tree sustained ~270 Mcycles/s on the reference container; 80 is a
+# generous floor that still catches an order-of-magnitude regression in
+# the event core without flaking on slow or loaded hosts.
+tp = d1["mcycles_per_s"]
+assert tp >= 80.0, f"simulator throughput regressed: {tp:.1f} Mcycles/s < 80"
+print(f"ci: bench throughput {tp:.1f} Mcycles/s (jobs=1), "
+      f"pool_speedup {d2['pool_speedup']:.2f} at jobs=2")
+EOF
 
 # Chaos smoke: a seeded 5% drop schedule over the Quick five-app matrix
 # on the software-DSM engines (including the timestamp-coherence engine

@@ -70,6 +70,12 @@ let family_term ~family ~slot theta_k =
 let work p sh lay costs (ctx : Parmacs.ctx) =
   assert (ctx.nprocs <= 64);
   let ll = ref 0.0 in
+  (* The peeling loop interleaves theta reads with result writes, so it
+     cannot batch into range ops without reordering accesses; instead the
+     platform closures and transfer cell are hoisted and the result base
+     precomputed, leaving one projection-free read and write per slot. *)
+  let readf = ctx.readf and writef = ctx.writef and fcell = ctx.fcell in
+  let rw = sh.result_words in
   for _iter = 1 to p.iters do
     ctx.barrier 0;
     (* Parallel phase: families round-robin across processors. *)
@@ -78,13 +84,15 @@ let work p sh lay costs (ctx : Parmacs.ctx) =
       if f mod ctx.nprocs = ctx.id then begin
         ctx.compute costs.(f);
         let contribution = ref 0.0 in
-        for r = 0 to sh.result_words - 1 do
-          let theta_k = Parmacs.read_f ctx (lay.theta + (r mod theta_words)) in
-          let v = family_term ~family:f ~slot:r theta_k in
-          Parmacs.write_f ctx (lay.results + (f * sh.result_words) + r) v;
+        let rbase = lay.results + (f * rw) in
+        for r = 0 to rw - 1 do
+          readf (lay.theta + (r mod theta_words));
+          let v = family_term ~family:f ~slot:r !fcell in
+          fcell := v;
+          writef (rbase + r);
           contribution := !contribution +. v
         done;
-        partial := !partial +. log (2.0 +. !contribution /. float_of_int sh.result_words)
+        partial := !partial +. log (2.0 +. !contribution /. float_of_int rw)
       end
     done;
     Parmacs.write_f ctx (lay.partials + (ctx.id * page_words)) !partial;

@@ -66,32 +66,22 @@ let init p lay mem =
     done
   done
 
-(* Lennard-Jones-like force between two points; [d] is their separation. *)
-let lj (dx, dy, dz) =
-  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 0.01 in
-  let inv_r2 = 1.0 /. r2 in
-  let inv_r6 = inv_r2 *. inv_r2 *. inv_r2 in
-  let scale = 24.0 *. inv_r6 *. ((2.0 *. inv_r6) -. 1.0) *. inv_r2 in
-  (* Clamp to keep the toy integrator stable. *)
-  let scale = Float.max (-10.0) (Float.min 10.0 scale) in
-  (scale *. dx, scale *. dy, scale *. dz)
-
 let work p lay (ctx : Parmacs.ctx) =
   assert (ctx.nprocs <= 64);
   let n = p.molecules in
   let lo = n * ctx.id / ctx.nprocs and hi = n * (ctx.id + 1) / ctx.nprocs in
   let buf3 = Array.make 3 0.0 in
-  let read3 base m =
-    ctx.range.read_fs (base + (3 * m)) buf3 0 3;
-    (buf3.(0), buf3.(1), buf3.(2))
-  in
+  (* The pair loop is the simulator's hottest app kernel: n^2/2 reads of
+     a 3-float record per step.  Values move through [buf3] and unboxed
+     float locals — no tuples — so the loop allocates nothing per pair. *)
+  let read3 base m = ctx.range.read_fs (base + (3 * m)) buf3 0 3 in
   let write3 base m x y z =
     buf3.(0) <- x;
     buf3.(1) <- y;
     buf3.(2) <- z;
     ctx.range.write_fs (base + (3 * m)) buf3 0 3
   in
-  let add_force_locked m (fx, fy, fz) =
+  let add_force_locked m fx fy fz =
     ctx.lock (molecule_lock m);
     let a = lay.force + (3 * m) in
     Parmacs.write_f ctx a (Parmacs.read_f ctx a +. fx);
@@ -101,40 +91,54 @@ let work p lay (ctx : Parmacs.ctx) =
   in
   let acc = Array.make (3 * n) 0.0 in
   let acc_touched = Array.make n false in
+  let zeros = Array.make (3 * (max 0 (hi - lo))) 0.0 in
+  let locked = p.mode = Locked in
   for _step = 1 to p.steps do
     (* Phase 1: owners clear their molecules' force records — one
        contiguous store range over the owned segment. *)
-    if hi > lo then begin
-      let zeros = Array.make (3 * (hi - lo)) 0.0 in
-      Parmacs.write_range_f ctx (lay.force + (3 * lo)) zeros
-    end;
+    if hi > lo then Parmacs.write_range_f ctx (lay.force + (3 * lo)) zeros;
     ctx.barrier 1;
     (* Phase 2: pairwise forces.  Processor [p] computes interactions of
        its molecules with all higher-numbered ones. *)
     Array.fill acc 0 (3 * n) 0.0;
     Array.fill acc_touched 0 n false;
     for i = lo to hi - 1 do
-      let xi, yi, zi = read3 lay.pos i in
+      read3 lay.pos i;
+      let xi = buf3.(0) and yi = buf3.(1) and zi = buf3.(2) in
       for j = i + 1 to n - 1 do
-        let xj, yj, zj = read3 lay.pos j in
-        let fx, fy, fz = lj (xi -. xj, yi -. yj, zi -. zj) in
+        read3 lay.pos j;
+        let dx = xi -. buf3.(0)
+        and dy = yi -. buf3.(1)
+        and dz = zi -. buf3.(2) in
+        (* Lennard-Jones-like force; clamped to keep the toy integrator
+           stable. *)
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 0.01 in
+        let inv_r2 = 1.0 /. r2 in
+        let inv_r6 = inv_r2 *. inv_r2 *. inv_r2 in
+        let scale = 24.0 *. inv_r6 *. ((2.0 *. inv_r6) -. 1.0) *. inv_r2 in
+        let scale = Float.max (-10.0) (Float.min 10.0 scale) in
+        let fx = scale *. dx and fy = scale *. dy and fz = scale *. dz in
         ctx.compute p.pair_cycles;
-        match p.mode with
-        | Locked ->
-            (* Original Water: one lock acquire per update of molecule j;
-               contributions to own molecule i batch until the j-loop ends. *)
-            add_force_locked j (-.fx, -.fy, -.fz);
-            acc.(3 * i) <- acc.(3 * i) +. fx;
-            acc.((3 * i) + 1) <- acc.((3 * i) + 1) +. fy;
-            acc.((3 * i) + 2) <- acc.((3 * i) + 2) +. fz
-        | Batched ->
-            acc.(3 * i) <- acc.(3 * i) +. fx;
-            acc.((3 * i) + 1) <- acc.((3 * i) + 1) +. fy;
-            acc.((3 * i) + 2) <- acc.((3 * i) + 2) +. fz;
-            acc.(3 * j) <- acc.(3 * j) -. fx;
-            acc.((3 * j) + 1) <- acc.((3 * j) + 1) -. fy;
-            acc.((3 * j) + 2) <- acc.((3 * j) + 2) -. fz;
-            acc_touched.(j) <- true
+        if locked then begin
+          (* Original Water: one lock acquire per update of molecule j;
+             contributions to own molecule i batch until the j-loop ends. *)
+          add_force_locked j (-.fx) (-.fy) (-.fz);
+          let b = 3 * i in
+          Array.unsafe_set acc b (Array.unsafe_get acc b +. fx);
+          Array.unsafe_set acc (b + 1) (Array.unsafe_get acc (b + 1) +. fy);
+          Array.unsafe_set acc (b + 2) (Array.unsafe_get acc (b + 2) +. fz)
+        end
+        else begin
+          let b = 3 * i in
+          Array.unsafe_set acc b (Array.unsafe_get acc b +. fx);
+          Array.unsafe_set acc (b + 1) (Array.unsafe_get acc (b + 1) +. fy);
+          Array.unsafe_set acc (b + 2) (Array.unsafe_get acc (b + 2) +. fz);
+          let b = 3 * j in
+          Array.unsafe_set acc b (Array.unsafe_get acc b -. fx);
+          Array.unsafe_set acc (b + 1) (Array.unsafe_get acc (b + 1) -. fy);
+          Array.unsafe_set acc (b + 2) (Array.unsafe_get acc (b + 2) -. fz);
+          Array.unsafe_set acc_touched j true
+        end
       done;
       acc_touched.(i) <- true
     done;
@@ -145,16 +149,20 @@ let work p lay (ctx : Parmacs.ctx) =
     for k = 0 to n - 1 do
       let m = (lo + k) mod n in
       if acc_touched.(m) then
-        add_force_locked m (acc.(3 * m), acc.((3 * m) + 1), acc.((3 * m) + 2))
+        add_force_locked m acc.(3 * m) acc.((3 * m) + 1) acc.((3 * m) + 2)
     done;
     ctx.barrier 1;
     (* Phase 3: owners integrate their molecules. *)
     for m = lo to hi - 1 do
-      let fx, fy, fz = read3 lay.force m in
-      let vx, vy, vz = read3 lay.vel m in
-      let vx = vx +. (fx *. dt) and vy = vy +. (fy *. dt) and vz = vz +. (fz *. dt) in
+      read3 lay.force m;
+      let fx = buf3.(0) and fy = buf3.(1) and fz = buf3.(2) in
+      read3 lay.vel m;
+      let vx = buf3.(0) +. (fx *. dt)
+      and vy = buf3.(1) +. (fy *. dt)
+      and vz = buf3.(2) +. (fz *. dt) in
       write3 lay.vel m vx vy vz;
-      let xi, yi, zi = read3 lay.pos m in
+      read3 lay.pos m;
+      let xi = buf3.(0) and yi = buf3.(1) and zi = buf3.(2) in
       write3 lay.pos m (xi +. (vx *. dt)) (yi +. (vy *. dt)) (zi +. (vz *. dt));
       ctx.compute integrate_compute_cycles
     done;
@@ -163,9 +171,10 @@ let work p lay (ctx : Parmacs.ctx) =
   (* Checksum: per-processor digests over owned molecules. *)
   let s = ref 0.0 in
   for m = lo to hi - 1 do
-    let x, y, z = read3 lay.pos m in
-    let vx, vy, vz = read3 lay.vel m in
-    s := !s +. x +. y +. z +. vx +. vy +. vz
+    read3 lay.pos m;
+    let x = buf3.(0) and y = buf3.(1) and z = buf3.(2) in
+    read3 lay.vel m;
+    s := !s +. x +. y +. z +. buf3.(0) +. buf3.(1) +. buf3.(2)
   done;
   Parmacs.write_f ctx (lay.partials + (ctx.id * page_words)) !s;
   ctx.barrier 1;

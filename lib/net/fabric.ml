@@ -59,9 +59,25 @@ let crossbar_sim =
   { name = "crossbar"; latency_cycles = 10; bytes_per_cycle = 2.0;
     overhead = Overhead.hardware; faults = no_faults }
 
+(* Per-message counter cells, resolved once at fabric creation: the send
+   path bumps plain refs instead of hashing a (formatted) name per
+   message. *)
+type cells = {
+  c_miss : int ref;
+  c_sync : int ref;
+  c_total : int ref;
+  c_hdr : int ref;
+  c_cons : int ref;
+  c_payload : int ref;
+  c_bytes : int ref;
+  c_offered : int ref;
+  c_delivered : int ref;
+}
+
 type 'a t = {
   eng : Engine.t;
   counters : Counters.t;
+  cells : cells;
   cfg : config;
   n : int;
   tx : Resource.t array;
@@ -78,6 +94,18 @@ let create eng counters cfg ~nodes =
   {
     eng;
     counters;
+    cells =
+      {
+        c_miss = Counters.cell counters "net.msgs.miss";
+        c_sync = Counters.cell counters "net.msgs.sync";
+        c_total = Counters.cell counters "net.msgs.total";
+        c_hdr = Counters.cell counters "net.bytes.header";
+        c_cons = Counters.cell counters "net.bytes.consistency";
+        c_payload = Counters.cell counters "net.bytes.payload";
+        c_bytes = Counters.cell counters "net.bytes.total";
+        c_offered = Counters.cell counters "net.msgs.offered";
+        c_delivered = Counters.cell counters "net.msgs.delivered";
+      };
     cfg;
     n = nodes;
     tx = Array.init nodes (fun i -> Resource.create ~name:(Printf.sprintf "tx%d" i) ());
@@ -97,14 +125,16 @@ let wire_cycles t bytes =
 let data_words (size : Msg.sizes) =
   (size.consistency_bytes + size.payload_bytes + 7) / 8
 
+let[@inline] bump r n = r := !r + n
+
 let count t ~class_ ~(size : Msg.sizes) =
-  let c = t.counters in
-  Counters.incr c (Printf.sprintf "net.msgs.%s" (Msg.class_name class_));
-  Counters.incr c "net.msgs.total";
-  Counters.add c "net.bytes.header" size.header_bytes;
-  Counters.add c "net.bytes.consistency" size.consistency_bytes;
-  Counters.add c "net.bytes.payload" size.payload_bytes;
-  Counters.add c "net.bytes.total" (Msg.total_bytes size)
+  let k = t.cells in
+  bump (match class_ with Msg.Miss -> k.c_miss | Msg.Sync -> k.c_sync) 1;
+  bump k.c_total 1;
+  bump k.c_hdr size.header_bytes;
+  bump k.c_cons size.consistency_bytes;
+  bump k.c_payload size.payload_bytes;
+  bump k.c_bytes (Msg.total_bytes size)
 
 let faults_armed t = t.active
 
@@ -118,7 +148,7 @@ let in_blackout t ~src ~dst ~at =
 
 let send t fiber ~src ~dst ~class_ ~size body =
   if src = dst then invalid_arg "Fabric.send: src = dst";
-  Counters.incr t.counters "net.msgs.offered";
+  bump t.cells.c_offered 1;
   let ov = t.cfg.overhead in
   Engine.advance fiber (ov.fixed_send + (ov.per_word * data_words size));
   Engine.sync fiber;
@@ -167,7 +197,7 @@ let send t fiber ~src ~dst ~class_ ~size body =
       count t ~class_ ~size;
       let arrival = tx_done + t.cfg.latency_cycles + extra in
       let delivered = Resource.reserve t.rx.(dst) ~ready:arrival ~cycles in
-      Counters.incr t.counters "net.msgs.delivered";
+      bump t.cells.c_delivered 1;
       Mailbox.post t.inbox.(dst) ~at:delivered { Msg.src; dst; class_; size; body }
     in
     (* The sender is released once the message leaves its link. *)

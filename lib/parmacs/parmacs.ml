@@ -15,6 +15,9 @@ type ctx = {
   fcell : float ref;
   readf : int -> unit;
   writef : int -> unit;
+  icell : int ref;
+  readi : int -> unit;
+  writei : int -> unit;
   range : range_ops;
   lock : int -> unit;
   unlock : int -> unit;
@@ -33,8 +36,16 @@ let[@inline] read_f ctx addr =
 let[@inline] write_f ctx addr v =
   ctx.fcell := v;
   ctx.writef addr
-let read_i ctx addr = Int64.to_int (ctx.read addr)
-let write_i ctx addr v = ctx.write addr (Int64.of_int v)
+
+(* Scalar int traffic mirrors the float path: [icell] carries the word
+   across the platform closure, so no [int64] is boxed per access. *)
+let[@inline] read_i ctx addr =
+  ctx.readi addr;
+  !(ctx.icell)
+
+let[@inline] write_i ctx addr v =
+  ctx.icell := v;
+  ctx.writei addr
 
 let read_range_f ctx addr (dst : float array) =
   ctx.range.read_fs addr dst 0 (Array.length dst)
@@ -106,6 +117,7 @@ let run_sequential app =
   app.init mem;
   let pass = fun addr words ~f -> f addr words in
   let fcell = ref 0.0 in
+  let icell = ref 0 in
   let ctx =
     {
       id = 0;
@@ -115,6 +127,9 @@ let run_sequential app =
       fcell;
       readf = (fun addr -> fcell := Memory.get_float mem addr);
       writef = (fun addr -> Memory.set_float mem addr !fcell);
+      icell;
+      readi = (fun addr -> icell := Memory.get_int mem addr);
+      writei = (fun addr -> Memory.set_int mem addr !icell);
       range = range_ops_of_runs ~mem ~read_run:pass ~write_run:pass;
       lock = ignore;
       unlock = ignore;

@@ -39,6 +39,13 @@ type ctx = {
       (** guarded, timed float read of one shared word into [fcell] —
           observably identical to [read], but allocation-free *)
   writef : int -> unit;  (** float store of [fcell]'s value, ditto *)
+  icell : int ref;
+      (** scalar int transfer cell shared with [readi]/[writei]; private
+          to this processor *)
+  readi : int -> unit;
+      (** guarded, timed int read of one shared word into [icell] —
+          observably identical to [read], but allocation-free *)
+  writei : int -> unit;  (** int store of [icell]'s value, ditto *)
   range : range_ops;  (** contiguous-range accesses (guarded, timed) *)
   lock : int -> unit;
   unlock : int -> unit;

@@ -110,6 +110,18 @@ let make ~engine:(module E : Shm_proto.ENGINE) ?(faults = Fabric.no_faults)
                Private_cache.write pc f addr;
                Memory.set_float mem addr !fcell
              in
+             let icell = ref 0 in
+             let readi addr =
+               if Bytes.unsafe_get rights (addr lsr shift) = '\000' then
+                 inst.Shm_proto.read_guard f ~node addr;
+               Private_cache.read pc f addr;
+               icell := Memory.get_int mem addr
+             and writei addr =
+               if Bytes.unsafe_get rights (addr lsr shift) <> '\002' then
+                 inst.Shm_proto.write_guard f ~node addr;
+               Private_cache.write pc f addr;
+               Memory.set_int mem addr !icell
+             in
              let range =
                if inst.Shm_proto.wordwise_ranges then
                  Parmacs.range_ops_wordwise ~read ~write
@@ -135,6 +147,9 @@ let make ~engine:(module E : Shm_proto.ENGINE) ?(faults = Fabric.no_faults)
                  fcell;
                  readf;
                  writef;
+                 icell;
+                 readi;
+                 writei;
                  range;
                  lock = (fun l -> inst.Shm_proto.acquire f ~node ~lock:l);
                  unlock = (fun l -> inst.Shm_proto.release f ~node ~lock:l);
@@ -205,6 +220,7 @@ let dec_plain ?(instrument = Instrument.off) () =
     let fiber =
       Engine.spawn eng ~name:"cpu0" ~at:0 (fun f ->
            let fcell = ref 0.0 in
+           let icell = ref 0 in
            let ctx =
              {
                Parmacs.id = 0;
@@ -226,6 +242,15 @@ let dec_plain ?(instrument = Instrument.off) () =
                  (fun addr ->
                    Private_cache.write cache f addr;
                    Memory.set_float mem addr !fcell);
+               icell;
+               readi =
+                 (fun addr ->
+                   Private_cache.read cache f addr;
+                   icell := Memory.get_int mem addr);
+               writei =
+                 (fun addr ->
+                   Private_cache.write cache f addr;
+                   Memory.set_int mem addr !icell);
                range =
                  Parmacs.range_ops_of_runs ~mem
                    ~read_run:(fun addr words ~f:move ->

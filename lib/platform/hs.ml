@@ -143,6 +143,16 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
                dsm.Shm_proto.write_guard f ~node addr;
                Memory.set_float memories.(node) addr !fcell
              in
+             let icell = ref 0 in
+             let readi addr =
+               dsm.Shm_proto.read_guard f ~node addr;
+               bus.Shm_proto.read_guard f ~node:cpu addr;
+               icell := Memory.get_int memories.(node) addr
+             and writei addr =
+               bus.Shm_proto.write_guard f ~node:cpu addr;
+               dsm.Shm_proto.write_guard f ~node addr;
+               Memory.set_int memories.(node) addr !icell
+             in
              let ctx =
                {
                  Parmacs.id = p;
@@ -152,6 +162,9 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
                  fcell;
                  readf;
                  writef;
+                 icell;
+                 readi;
+                 writei;
                  (* The snoop-then-guard-then-store interleaving above is
                     too delicate to batch; ranges fall back to the literal
                     per-word loop here. *)

@@ -48,6 +48,7 @@ let run ~engine:(module E : Shm_proto.ENGINE) ~instrument ~platform_name
     Array.init nprocs (fun cpu ->
       Engine.spawn eng ~name:(Printf.sprintf "cpu%d" cpu) ~at:0 (fun f ->
            let fcell = ref 0.0 in
+           let icell = ref 0 in
            let ctx =
              {
                Parmacs.id = cpu;
@@ -69,6 +70,15 @@ let run ~engine:(module E : Shm_proto.ENGINE) ~instrument ~platform_name
                  (fun addr ->
                    inst.Shm_proto.write_guard f ~node:cpu addr;
                    Memory.set_float mem addr !fcell);
+               icell;
+               readi =
+                 (fun addr ->
+                   inst.Shm_proto.read_guard f ~node:cpu addr;
+                   icell := Memory.get_int mem addr);
+               writei =
+                 (fun addr ->
+                   inst.Shm_proto.write_guard f ~node:cpu addr;
+                   Memory.set_int mem addr !icell);
                range =
                  Parmacs.range_ops_of_runs ~mem
                    ~read_run:(fun addr words ~f:move ->

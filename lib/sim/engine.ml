@@ -92,7 +92,8 @@ type t = {
   mutable time : int;
   mutable live : int;
   mutable next_fiber_id : int;
-  blocked : (int, fiber) Hashtbl.t; (* suspended fibers, for deadlock reports *)
+  mutable fibers : fiber list; (* all spawned, newest first; suspended ones
+                                  (cont <> None) feed deadlock reports *)
   einstr : bool;
   tracer : tracer option;
 }
@@ -117,8 +118,8 @@ type _ Effect.t +=
   | Park : fiber -> unit Effect.t
 
 let create ?(instrument = false) ?tracer () =
-  { queue = Pqueue.create (); time = 0; live = 0; next_fiber_id = 0;
-    blocked = Hashtbl.create 64;
+  { queue = Pqueue.create ~dummy:ignore; time = 0; live = 0; next_fiber_id = 0;
+    fibers = [];
     einstr = instrument || tracer <> None;
     tracer }
 
@@ -157,22 +158,25 @@ let flush_segment f =
   | Some _ | None -> ());
   f.seg_start <- f.fclock
 
-let set_category f cat =
-  if f.instr then begin
-    let i = cat_index cat in
-    if i <> f.fcat then begin
-      flush_segment f;
-      f.fcat <- i
-    end
+let[@inline] set_category_index f i =
+  if i <> f.fcat then begin
+    flush_segment f;
+    f.fcat <- i
   end
 
 let with_category f cat body =
   if not f.instr then body ()
   else begin
     let saved = f.fcat in
-    set_category f cat;
-    Fun.protect body ~finally:(fun () ->
-        set_category f (category_of_index saved))
+    set_category_index f (cat_index cat);
+    match body () with
+    | v ->
+        set_category_index f saved;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        set_category_index f saved;
+        Printexc.raise_with_backtrace e bt
   end
 
 let instant f name =
@@ -206,11 +210,7 @@ let effc : type b. fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuation ->
       Some
         (fun k ->
           schedule f.eng ~at:f.fclock (fun () -> Effect.Deep.continue k ()))
-  | Park f ->
-      Some
-        (fun k ->
-          f.cont <- Some k;
-          Hashtbl.replace f.eng.blocked f.fid f)
+  | Park f -> Some (fun k -> f.cont <- Some k)
   | _ -> None
 
 let spawn t ?(daemon = false) ~name ~at body =
@@ -221,6 +221,7 @@ let spawn t ?(daemon = false) ~name ~at body =
       cont = None; finished = false }
   in
   t.next_fiber_id <- t.next_fiber_id + 1;
+  t.fibers <- fiber :: t.fibers;
   (match t.tracer with
   | Some tr -> tr.trace_track ~track:fiber.fid ~name
   | None -> ());
@@ -245,36 +246,44 @@ let spawn t ?(daemon = false) ~name ~at body =
   fiber
 
 let blocked_report t =
-  Hashtbl.fold
-    (fun _ f acc ->
-      if f.finished || f.daemon then acc else (f.fname, f.fclock) :: acc)
-    t.blocked []
+  List.filter_map
+    (fun f ->
+      if f.cont = None || f.finished || f.daemon then None
+      else Some (f.fname, f.fclock))
+    t.fibers
   |> List.sort compare
 
 let run ?max_cycles ?(diag = fun () -> "") t =
   let limit = match max_cycles with Some l -> l | None -> max_int in
-  while not (Pqueue.is_empty t.queue) do
-    let time, event = Pqueue.pop t.queue in
-    if time > limit then
+  let queue = t.queue in
+  (* The inner loop reads the (cached) minimum time and pops just the
+     event closure, so draining a same-timestamp batch is a sentinel
+     compare, a pop, and a call per event — no option or pair boxing. *)
+  let running = ref true in
+  while !running do
+    let time = Pqueue.min_time_exn queue in
+    if time = max_int && Pqueue.is_empty queue then running := false
+    else if time > limit then
       raise
-        (Watchdog
-           { time; limit; blocked = blocked_report t; note = diag () });
-    t.time <- time;
-    event ()
+        (Watchdog { time; limit; blocked = blocked_report t; note = diag () })
+    else begin
+      t.time <- time;
+      (Pqueue.pop_event queue) ()
+    end
   done;
   (* Parked daemons never return, so their last open segment is flushed
      here rather than in [retc]. *)
-  if t.tracer <> None then Hashtbl.iter (fun _ f -> flush_segment f) t.blocked;
+  if t.tracer <> None then
+    List.iter (fun f -> if f.cont <> None then flush_segment f) t.fibers;
   if t.live > 0 then
     raise
       (Deadlock { time = t.time; blocked = blocked_report t; note = diag () })
 
 let sync f =
   (* Fast path: if nothing is scheduled before our clock, yielding would be
-     a no-op; skip the effect. *)
-  match Pqueue.min_time f.eng.queue with
-  | Some earliest when earliest <= f.fclock -> Effect.perform (Yield f)
-  | Some _ | None -> ()
+     a no-op; skip the effect.  [min_time_exn] is a cached sentinel read
+     ([max_int] when empty), so the common case is one compare. *)
+  if Pqueue.min_time_exn f.eng.queue <= f.fclock then Effect.perform (Yield f)
 
 let wait_until f time =
   set_clock f time;
@@ -289,6 +298,5 @@ let resume t f ~at =
   | None -> invalid_arg (Printf.sprintf "Engine.resume: fiber %s not suspended" f.fname)
   | Some k ->
       f.cont <- None;
-      Hashtbl.remove t.blocked f.fid;
       set_clock f at;
       schedule t ~at:f.fclock (fun () -> Effect.Deep.continue k ())

@@ -1,12 +1,25 @@
-(** Binary min-heap priority queue keyed by [(time, seq)].
+(** Hierarchical timing-wheel priority queue keyed by [(time, seq)].
 
     The sequence number is assigned internally at insertion, so two entries
     with the same time pop in insertion order.  This is what makes the
-    simulation deterministic. *)
+    simulation deterministic.
+
+    Near-future events (within 2^24 ticks of the last popped time) live in
+    a three-level wheel of 256-slot arrays with per-slot FIFO chains built
+    from a preallocated node pool, so the steady-state push/pop cycle
+    allocates nothing.  Events outside the wheel window — far-future or
+    (for standalone users; the engine never does this) scheduled in the
+    past — fall back to an index-sorted binary heap over the same pool.
+    Pop compares the wheel head against the heap root under the same
+    [(time, seq)] order, so the observable pop sequence is identical to a
+    single binary heap's. *)
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ~dummy] makes an empty queue.  [dummy] fills vacant pool
+    slots so released events don't retain their payloads; it is never
+    returned. *)
+val create : dummy:'a -> 'a t
 
 val length : 'a t -> int
 
@@ -19,5 +32,17 @@ val push : 'a t -> time:int -> 'a -> unit
     @raise Not_found if the queue is empty. *)
 val pop : 'a t -> int * 'a
 
+(** [pop_event q] removes the minimum entry and returns just its value,
+    without boxing the [(time, value)] pair; the time is available
+    beforehand from [min_time_exn].
+    @raise Not_found if the queue is empty. *)
+val pop_event : 'a t -> 'a
+
 (** [min_time q] is the time of the minimum entry without removing it. *)
 val min_time : 'a t -> int option
+
+(** [min_time_exn q] is [min_time] without the [Some] box: the minimum
+    entry's time, or [max_int] when the queue is empty.  O(1) when the
+    minimum is unchanged since the last call (the common case on the
+    engine's yield fast path). *)
+val min_time_exn : 'a t -> int

@@ -11,6 +11,11 @@ val incr : t -> string -> unit
 
 val add : t -> string -> int -> unit
 
+(** [cell t name] is the mutable cell behind counter [name], creating it
+    at 0 if absent.  Hot paths cache the cell once and bump it with a
+    plain [ref] update instead of a hashtable lookup per event. *)
+val cell : t -> string -> int ref
+
 (** [get t name] is the counter value, or [0] if never touched.  A
     misspelled name therefore silently reads as 0 — prefer {!find} (or
     check {!mem}) when the counter is expected to exist. *)

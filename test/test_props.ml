@@ -94,13 +94,82 @@ let prop_pqueue_sorts =
   QCheck.Test.make ~count:100 ~name:"pqueue pops a sorted sequence"
     QCheck.(small_list small_nat)
     (fun times ->
-      let q = Pqueue.create () in
+      let q = Pqueue.create ~dummy:0 in
       List.iter (fun time -> Pqueue.push q ~time time) times;
       let out = ref [] in
       while not (Pqueue.is_empty q) do
         out := fst (Pqueue.pop q) :: !out
       done;
       List.rev !out = List.sort compare times)
+
+(* Observational equivalence of the timing wheel against a naive stable
+   reference queue.  Generated scripts interleave pushes and pops; push
+   times mix same-tick ties (FIFO order must hold), small steps that stay
+   in wheel level 0, strides that land in levels 1-2, and far-future
+   outliers that take the heap tier.  Because pops advance the wheel's
+   internal horizon, later small pushes also exercise the past-time heap
+   path.  Pop results, peeked minima and lengths must match the reference
+   at every step. *)
+let prop_pqueue_wheel_matches_reference =
+  let time_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (4, int_bound 300);
+          (3, int_bound 0x20000);
+          (2, int_bound 0x2000000);
+          (1, int_bound 0x20000000);
+        ])
+  in
+  let arb_ops =
+    QCheck.make
+      ~print:(fun ops ->
+        String.concat "; "
+          (List.map
+             (function
+               | true, t -> "push " ^ string_of_int t
+               | false, _ -> "pop")
+             ops))
+      QCheck.Gen.(list_size (int_bound 400) (pair bool time_gen))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"timing wheel matches stable reference queue (FIFO ties)" arb_ops
+    (fun ops ->
+      let q = Pqueue.create ~dummy:(-1) in
+      (* Reference: (time, seq) pairs; min is lexicographic (time, seq),
+         which is exactly FIFO order among equal times. *)
+      let reference = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (is_push, t) ->
+          (if is_push then begin
+             Pqueue.push q ~time:t !seq;
+             reference := (t, !seq) :: !reference;
+             incr seq
+           end
+           else
+             let best =
+               List.fold_left
+                 (fun best (t, s) ->
+                   match best with
+                   | Some (bt, bs) when bt < t || (bt = t && bs < s) -> best
+                   | _ -> Some (t, s))
+                 None !reference
+             in
+             match best with
+             | None -> if not (Pqueue.is_empty q) then ok := false
+             | Some (bt, bs) ->
+                 let time, v = Pqueue.pop q in
+                 if time <> bt || v <> bs then ok := false;
+                 reference := List.filter (fun (_, s) -> s <> bs) !reference);
+          let rmin =
+            List.fold_left (fun acc (t, _) -> min acc t) max_int !reference
+          in
+          if Pqueue.min_time_exn q <> rmin then ok := false;
+          if Pqueue.length q <> List.length !reference then ok := false)
+        ops;
+      !ok)
 
 let prop_msg_total =
   QCheck.Test.make ~count:100 ~name:"message size totals add up"
@@ -178,6 +247,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_diff_twin_apply_matches;
     QCheck_alcotest.to_alcotest prop_diff_words_bound;
     QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+    QCheck_alcotest.to_alcotest prop_pqueue_wheel_matches_reference;
     QCheck_alcotest.to_alcotest prop_msg_total;
     QCheck_alcotest.to_alcotest prop_layout_aligned;
     QCheck_alcotest.to_alcotest prop_tsp_distances_symmetric;

@@ -9,7 +9,7 @@ module Pqueue = Shm_sim.Pqueue
 module Prng = Shm_sim.Prng
 
 let test_pqueue_order () =
-  let q = Pqueue.create () in
+  let q = Pqueue.create ~dummy:0 in
   let rng = Prng.create ~seed:42 in
   let items = List.init 1000 (fun i -> (Prng.int rng 100, i)) in
   List.iter (fun (time, v) -> Pqueue.push q ~time v) items;
@@ -24,7 +24,7 @@ let test_pqueue_order () =
   Alcotest.(check int) "all popped" 1000 (List.length !seen)
 
 let test_pqueue_fifo_ties () =
-  let q = Pqueue.create () in
+  let q = Pqueue.create ~dummy:0 in
   for i = 0 to 99 do
     Pqueue.push q ~time:7 i
   done;
@@ -106,7 +106,7 @@ let test_pqueue_pop_releases_entry () =
   (* Regression for a space leak: the vacated slot after [pop] used to
      keep the last heap entry — and the event closure it carried —
      reachable for the queue's lifetime. *)
-  let q = Pqueue.create () in
+  let q = Pqueue.create ~dummy:(fun () -> 0) in
   let push_tracked () =
     let payload = Array.make 1024 0 in
     let w = Weak.create 1 in
