@@ -34,6 +34,7 @@ module Ah = Shm_platform.Ah
 module Overhead = Shm_net.Overhead
 module Instrument = Shm_platform.Instrument
 module Engine = Shm_sim.Engine
+module Lifecycle = Shm_sim.Lifecycle
 module Table = Shm_stats.Table
 module Parmacs = Shm_parmacs.Parmacs
 module Pool = Shm_runner.Pool
@@ -724,6 +725,80 @@ let protocol_matrix () =
      with timestamp leases and renewals."
 
 (* ------------------------------------------------------------------ *)
+(* Availability under churn: the same app with and without repeated    *)
+(* whole-node crash/restart (DESIGN.md §13).  The crash-armed platform *)
+(* constructors get their own platform_keys so their memoized runs     *)
+(* never alias the crash-free runs used everywhere else.               *)
+
+(* Two scheduled crashes early enough to land inside even the quick-
+   scale runs; a short outage and a tight checkpoint period so the
+   exhibit exercises checkpoint, re-home and rejoin several times. *)
+let churn_policy =
+  { Lifecycle.none with
+    Lifecycle.crashes = [ (1, 300_000); (2, 900_000) ];
+    outage_cycles = 400_000;
+    ckpt_interval = 200_000 }
+
+let crash_apps = [ "sor"; "tsp" ]
+
+let crash_platforms () =
+  [
+    ( "treadmarks", "treadmarks+crash",
+      tmk (),
+      Dsm_cluster.dec ~crash:churn_policy ~level:Dsm_cluster.User () );
+    ("ivy", "ivy+crash", ivy (), Machines.get ~crash:churn_policy "ivy");
+  ]
+
+let crash_churn () =
+  let table =
+    Table.create
+      ~title:
+        "Availability under churn: 2 crash/restart cycles, 4 processors \
+         (post-recovery checksums must equal the crash-free run)"
+      ~columns:
+        [
+          "program"; "platform"; "clean_s"; "churn_s"; "overhead";
+          "crashes"; "ckpt_kb"; "recov_ms"; "checksum";
+        ]
+  in
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      List.iter
+        (fun (label, crash_key, clean_p, crash_p) ->
+          let clean =
+            timed_run ~app_key:name ~platform:clean_p ~platform_key:label app
+              ~n:4
+          in
+          let churn =
+            timed_run ~app_key:name ~platform:crash_p ~platform_key:crash_key
+              app ~n:4
+          in
+          let cs = Report.seconds clean and hs = Report.seconds churn in
+          Table.add_row table
+            [
+              app.Parmacs.name; label;
+              Table.cell_f ~digits:4 cs;
+              Table.cell_f ~digits:4 hs;
+              (if cs > 0.0 then
+                 Printf.sprintf "%.0f%%" (100.0 *. (hs -. cs) /. cs)
+               else "-");
+              Table.cell_i (Report.crashes churn);
+              Table.cell_i (Report.ckpt_bytes churn / 1024);
+              Table.cell_f ~digits:3 (1e3 *. Report.recovery_time churn);
+              (if churn.Report.checksum = clean.Report.checksum then "="
+               else "DIFFERS");
+            ])
+        (crash_platforms ()))
+    crash_apps;
+  Table.print table;
+  print_endline
+    "\nLost time under churn is the outage itself plus checkpoint and\n\
+     rejoin overhead; the '=' column certifies the run recovered to the\n\
+     crash-free answer.  IVY pays whole-page checkpoints where TreadMarks\n\
+     checkpoints only the twin/diff-dirty runs."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core primitives                    *)
 
 let micro () =
@@ -983,6 +1058,18 @@ let plan_protocol_matrix () =
         pm_protocols)
     bd_apps
 
+let plan_crash_churn () =
+  List.iter
+    (fun name ->
+      let app = Registry.app ~scale:!scale name in
+      List.iter
+        (fun (label, crash_key, clean_p, crash_p) ->
+          declare ~app_key:name ~platform:clean_p ~platform_key:label app ~n:4;
+          declare ~app_key:name ~platform:crash_p ~platform_key:crash_key app
+            ~n:4)
+        (crash_platforms ()))
+    crash_apps
+
 let plan_sharing_patterns () =
   List.iter
     (fun name ->
@@ -1142,6 +1229,8 @@ let experiments =
       plan = plan_breakdown; run = breakdown_exhibit };
     { id = "pm1"; title = "Protocol matrix: engines on the SDSM cluster";
       plan = plan_protocol_matrix; run = protocol_matrix };
+    { id = "cr1"; title = "Availability under crash/restart churn";
+      plan = plan_crash_churn; run = crash_churn };
     { id = "micro"; title = "Bechamel micro-benchmarks"; plan = no_plan;
       run = micro };
   ]
@@ -1231,7 +1320,10 @@ let json_float f =
    bought relative to --jobs 1) and "host_cores" so throughput numbers
    can be compared across hosts; with --pool-probe it also records
    "pool_probe" — outside-the-pool walls of one fixed run set executed
-   at jobs=1 and jobs=4 (the only fair cross-width comparison). *)
+   at jobs=1 and jobs=4 (the only fair cross-width comparison).  /5
+   adds per-run crash-recovery fields: "crash" (whether the run crashed
+   any node), "crashes", "recovery_time" (rejoin cost in simulated
+   seconds) and "ckpt_bytes" — all false/zero on crash-free runs. *)
 let write_bench_json ~path ~jobs ~total_wall ~experiment_walls ~probe =
   let runs =
     List.filter_map
@@ -1253,7 +1345,7 @@ let write_bench_json ~path ~jobs ~total_wall ~experiment_walls ~probe =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"bench_access/4\",\n";
+  out "  \"schema\": \"bench_access/5\",\n";
   out "  \"scale\": %S,\n" (Registry.scale_name !scale);
   out "  \"jobs\": %d,\n" jobs;
   out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
@@ -1290,7 +1382,8 @@ let write_bench_json ~path ~jobs ~total_wall ~experiment_walls ~probe =
          \"wall_s\": %s, \"sim_cycles\": %d, \"sim_s\": %s, \
          \"mcycles_per_s\": %s, \"messages\": %d, \"kbytes\": %d, \
          \"offered\": %d, \"delivered\": %d, \"dropped\": %d, \
-         \"retrans\": %d, \"checksum\": %s}%s\n"
+         \"retrans\": %d, \"crash\": %b, \"crashes\": %d, \
+         \"recovery_time\": %s, \"ckpt_bytes\": %d, \"checksum\": %s}%s\n"
         (json_escape app_key) (json_escape platform_key) n (json_float wall)
         r.Report.cycles
         (json_float (Report.seconds r))
@@ -1299,6 +1392,10 @@ let write_bench_json ~path ~jobs ~total_wall ~experiment_walls ~probe =
         (Report.get r "net.bytes.total" / 1024)
         (Report.offered r) (Report.delivered r) (Report.dropped r)
         (Report.retransmissions r)
+        (Report.crashes r > 0)
+        (Report.crashes r)
+        (json_float (Report.recovery_time r))
+        (Report.ckpt_bytes r)
         (json_float r.Report.checksum)
         (if i = n_runs - 1 then "" else ","))
     runs;

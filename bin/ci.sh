@@ -54,14 +54,14 @@ if grep -nE 'Shm_tmk\.|Shm_ivy\.|Shm_tardis\.|Snoop\.|Directory\.|Shm_memsys\.Sn
 fi
 
 # Bench smoke under a parallel pool: one quick-scale exhibit with
-# --jobs 2 must succeed and emit a valid bench_access/4 JSON report,
+# --jobs 2 must succeed and emit a valid bench_access/5 JSON report,
 # byte-identical to the same exhibit at --jobs 1 modulo the wall-time
 # fields (run results and order must not depend on the pool width).
 smoke_json=$(mktemp)
 smoke1_json=$(mktemp)
 clean_json=$(mktemp)
 chaos_json=$(mktemp)
-trap 'rm -f "$smoke_json" "$smoke1_json" "$clean_json" "$chaos_json" ${trace_json:+"$trace_json"} ${traced_run_json:+"$traced_run_json"}' EXIT
+trap 'rm -f "$smoke_json" "$smoke1_json" "$clean_json" "$chaos_json" ${crash_json:+"$crash_json"} ${trace_json:+"$trace_json"} ${traced_run_json:+"$traced_run_json"}' EXIT
 dune exec bench/main.exe -- --scale quick --only f3 --jobs 2 \
   --json "$smoke_json" >/dev/null
 dune exec bench/main.exe -- --scale quick --only f3 --jobs 1 \
@@ -71,10 +71,14 @@ import json, sys
 
 d2 = json.load(open(sys.argv[1]))
 d1 = json.load(open(sys.argv[2]))
-assert d2["schema"] == "bench_access/4", d2["schema"]
+assert d2["schema"] == "bench_access/5", d2["schema"]
 assert d2["jobs"] == 2 and d1["jobs"] == 1, (d2["jobs"], d1["jobs"])
 assert len(d2["runs"]) >= 1
 assert d2["host_cores"] >= 1 and d2["pool_speedup"] > 0
+# /5 crash-recovery fields are present and zero on this crash-free run.
+for r in d2["runs"]:
+    assert r["crash"] is False and r["crashes"] == 0, r
+    assert r["recovery_time"] == 0.0 and r["ckpt_bytes"] == 0, r
 
 # Simulation results are deterministic: everything but host-side timing
 # must be identical between --jobs 1 and --jobs 2.
@@ -122,6 +126,40 @@ for plat in "treadmarks" "ivy" "treadmarks --protocol tardis"; do
     fi
   done
 done
+
+# Crash smoke: kill and restart one node mid-run on both SDSM platforms
+# (DESIGN.md §13).  The run must complete, recover to the crash-free
+# checksum, and report nonzero crash/recovery/checkpoint counters.
+crash_json=$(mktemp)
+for plat in treadmarks ivy; do
+  for app in sor tsp; do
+    dune exec bin/shmsim.exe -- run -a "$app" -p "$plat" -n 4 \
+      --scale quick --json "$clean_json" >/dev/null
+    dune exec bin/shmsim.exe -- run -a "$app" -p "$plat" -n 4 \
+      --scale quick --crash 1@500000 --json "$crash_json" >/dev/null
+    clean_sum=$(grep -o '"checksum": "[^"]*"' "$clean_json")
+    crash_sum=$(grep -o '"checksum": "[^"]*"' "$crash_json")
+    crashes=$(grep -o '"crashes": [0-9]*' "$crash_json" | grep -o '[0-9]*$')
+    restarts=$(grep -o '"restarts": [0-9]*' "$crash_json" | grep -o '[0-9]*$')
+    ckpts=$(grep -o '"ckpts": [0-9]*' "$crash_json" | grep -o '[0-9]*$')
+    recov=$(grep -o '"recovery_cycles": [0-9]*' "$crash_json" \
+      | grep -o '[0-9]*$')
+    if [ -z "$clean_sum" ] || [ "$clean_sum" != "$crash_sum" ]; then
+      echo "ci: post-recovery checksum diverged for $app on $plat" >&2
+      echo "ci:   clean: $clean_sum" >&2
+      echo "ci:   crash: $crash_sum" >&2
+      exit 1
+    fi
+    if [ "${crashes:-0}" -eq 0 ] || [ "${restarts:-0}" -eq 0 ] || \
+       [ "${ckpts:-0}" -eq 0 ] || [ "${recov:-0}" -eq 0 ]; then
+      echo "ci: crash run for $app on $plat missing recovery activity" \
+        "(crashes=${crashes:-0} restarts=${restarts:-0}" \
+        "ckpts=${ckpts:-0} recovery_cycles=${recov:-0})" >&2
+      exit 1
+    fi
+  done
+done
+rm -f "$crash_json"
 
 # Tracing smoke: a traced SOR run must produce a valid Chrome-trace file
 # (known event kinds, monotonic timestamps — `shmsim trace-check` is the

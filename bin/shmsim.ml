@@ -17,6 +17,7 @@ module Platform = Shm_platform.Platform
 module Report = Shm_platform.Report
 module Instrument = Shm_platform.Instrument
 module Trace = Shm_sim.Trace
+module Lifecycle = Shm_sim.Lifecycle
 module Fabric = Shm_net.Fabric
 module Table = Shm_stats.Table
 module Pool = Shm_runner.Pool
@@ -148,6 +149,86 @@ let fault_seed_arg =
           "Seed of the fault-injection PRNG stream; the same seed \
            reproduces the same fault and retransmission schedule.")
 
+(* Crash-injection flags (DESIGN.md §13).  [--ckpt-interval] defaults to
+   500k cycles whenever a crash source is armed, so a bare [--crash 1@2M]
+   run exercises the checkpoint path without further flags. *)
+
+let crash_conv =
+  let parse s =
+    match String.index_opt s '@' with
+    | Some i -> (
+        let node = String.sub s 0 i in
+        let cycle = String.sub s (i + 1) (String.length s - i - 1) in
+        match (int_of_string_opt node, int_of_string_opt cycle) with
+        | Some n, Some c when n >= 0 && c >= 0 -> Ok (n, c)
+        | _ ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "--crash expects NODE@CYCLE with non-negative ints, got %S"
+                    s)))
+    | None ->
+        Error (`Msg (Printf.sprintf "--crash expects NODE@CYCLE, got %S" s))
+  in
+  Arg.conv (parse, fun ppf (n, c) -> Format.fprintf ppf "%d@%d" n c)
+
+let crash_arg =
+  Arg.(
+    value & opt_all crash_conv []
+    & info [ "crash" ] ~docv:"NODE@CYCLE"
+        ~doc:
+          "Crash node $(i,NODE) at cycle $(i,CYCLE); repeatable.  The node \
+           drops its in-flight messages, goes unreachable for $(b,--outage) \
+           cycles, then restarts and rejoins from its last checkpoint.  \
+           Software-DSM platforms only.")
+
+let crash_rate_arg =
+  Arg.(
+    value & opt (rate_conv ~what:"--crash-rate") 0.0
+    & info [ "crash-rate" ] ~docv:"RATE"
+        ~doc:
+          "Additionally crash each node with probability $(docv) per \
+           1M-cycle window (drawn from the $(b,--fault-seed) stream's \
+           crash PRNG; at most a few nodes per run).")
+
+let outage_arg =
+  Arg.(
+    value & opt (nonneg_conv ~what:"--outage") Lifecycle.none.outage_cycles
+    & info [ "outage" ] ~docv:"CYCLES"
+        ~doc:"Cycles a crashed node stays down before restarting.")
+
+let ckpt_interval_arg =
+  Arg.(
+    value
+    & opt (some (nonneg_conv ~what:"--ckpt-interval")) None
+    & info [ "ckpt-interval" ] ~docv:"CYCLES"
+        ~doc:
+          "Failure-atomic checkpoint period (0 disables); defaults to \
+           500000 when any crash source is armed, 0 otherwise.")
+
+let crash_of ~crashes ~rate ~outage ~seed ~ckpt_interval =
+  let p =
+    { Lifecycle.none with
+      Lifecycle.crashes;
+      crash_rate = rate;
+      crash_seed = seed;
+      outage_cycles = outage }
+  in
+  let ckpt =
+    match ckpt_interval with
+    | Some i -> i
+    | None -> if Lifecycle.active p then 500_000 else 0
+  in
+  { p with Lifecycle.ckpt_interval = ckpt }
+
+let crash_banner crash =
+  if not (Lifecycle.active crash) then ""
+  else
+    Printf.sprintf ", crash: scheduled=%d rate=%g outage=%d ckpt=%d"
+      (List.length crash.Lifecycle.crashes)
+      crash.Lifecycle.crash_rate crash.Lifecycle.outage_cycles
+      crash.Lifecycle.ckpt_interval
+
 let max_cycles_arg =
   Arg.(
     value & opt (some (nonneg_conv ~what:"--max-cycles")) None
@@ -192,7 +273,7 @@ let fault_banner faults =
       faults.Fabric.drop_miss faults.Fabric.dup_rate faults.Fabric.jitter_cycles
       faults.Fabric.fault_seed
 
-let write_run_json path ~app ~platform ~scale ~faults rows =
+let write_run_json path ~app ~platform ~scale ~faults ~crash rows =
   let buf = Buffer.create 1024 in
   let fault_fields =
     Printf.sprintf
@@ -202,11 +283,20 @@ let write_run_json path ~app ~platform ~scale ~faults rows =
       faults.Fabric.drop_miss faults.Fabric.dup_rate
       faults.Fabric.jitter_cycles faults.Fabric.fault_seed
   in
+  let crash_fields =
+    Printf.sprintf
+      "{\"active\": %b, \"scheduled\": %d, \"rate\": %g, \"outage\": %d, \
+       \"ckpt_interval\": %d}"
+      (Lifecycle.active crash)
+      (List.length crash.Lifecycle.crashes)
+      crash.Lifecycle.crash_rate crash.Lifecycle.outage_cycles
+      crash.Lifecycle.ckpt_interval
+  in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"schema\": \"shmsim_run/1\", \"app\": \"%s\", \"platform\": \
-        \"%s\", \"scale\": \"%s\", \"faults\": %s, \"runs\": ["
-       app platform scale fault_fields);
+       "{\"schema\": \"shmsim_run/2\", \"app\": \"%s\", \"platform\": \
+        \"%s\", \"scale\": \"%s\", \"faults\": %s, \"crash\": %s, \"runs\": ["
+       app platform scale fault_fields crash_fields);
   List.iteri
     (fun i (n, r) ->
       if i > 0 then Buffer.add_string buf ", ";
@@ -215,14 +305,20 @@ let write_run_json path ~app ~platform ~scale ~faults rows =
            "{\"nprocs\": %d, \"cycles\": %d, \"seconds\": %.9g, \"checksum\": \
             \"%h\", \"msgs\": %d, \"kbytes\": %d, \"offered\": %d, \
             \"delivered\": %d, \"dropped\": %d, \"duplicated\": %d, \
-            \"retrans\": %d, \"dups_suppressed\": %d}"
+            \"retrans\": %d, \"dups_suppressed\": %d, \"crashes\": %d, \
+            \"restarts\": %d, \"ckpts\": %d, \"ckpt_bytes\": %d, \
+            \"recovery_cycles\": %d, \"recovery_seconds\": %.9g}"
            n r.Report.cycles (Report.seconds r) r.Report.checksum
            (Report.get r "net.msgs.total")
            (Report.get r "net.bytes.total" / 1024)
            (Report.offered r) (Report.delivered r) (Report.dropped r)
            (Report.duplicated r)
            (Report.retransmissions r)
-           (Report.dups_suppressed r)))
+           (Report.dups_suppressed r)
+           (Report.crashes r) (Report.restarts r) (Report.ckpt_count r)
+           (Report.ckpt_bytes r)
+           (Report.recovery_cycles r)
+           (Report.recovery_time r)))
     rows;
   Buffer.add_string buf "]}\n";
   let oc = open_out path in
@@ -239,9 +335,13 @@ let with_pool jobs f =
 
 let run_cmd =
   let run app_name platform_name protocol procs scale stats jobs drop dup
-      jitter seed max_cycles json trace_path =
+      jitter seed crashes crash_rate outage ckpt_interval max_cycles json
+      trace_path =
     let app = Registry.app ~scale app_name in
     let faults = faults_of ~drop ~dup ~jitter ~seed in
+    let crash =
+      crash_of ~crashes ~rate:crash_rate ~outage ~seed ~ckpt_interval
+    in
     let trace =
       match trace_path with
       | None -> None
@@ -257,7 +357,9 @@ let run_cmd =
       | Some (_, tr) -> Instrument.with_trace tr
     in
     let platform =
-      try Machines.get ~faults ?max_cycles ~instrument ?protocol platform_name
+      try
+        Machines.get ~faults ~crash ?max_cycles ~instrument ?protocol
+          platform_name
       with Invalid_argument msg ->
         Printf.eprintf "shmsim: %s\n" msg;
         exit 2
@@ -265,19 +367,27 @@ let run_cmd =
     let fault_cols =
       if Fabric.faults_active faults then [ "dropped"; "retrans" ] else []
     in
+    let crash_cols =
+      if Lifecycle.active crash then [ "crashes"; "ckpts"; "recov_ms" ]
+      else []
+    in
     let table =
       Table.create
         ~title:
-          (Printf.sprintf "%s on %s (%s scale%s)" app.name
+          (Printf.sprintf "%s on %s (%s scale%s%s)" app.name
              platform.Platform.name
              (Registry.scale_name scale)
-             (fault_banner faults))
+             (fault_banner faults) (crash_banner crash))
         ~columns:
           ([ "procs"; "seconds"; "speedup"; "msgs"; "kbytes"; "checksum" ]
-          @ fault_cols)
+          @ fault_cols @ crash_cols)
     in
     let results = ref [] in
-    with_pool jobs (fun pool ->
+    (* Engine-level refusals (e.g. tardis under a crash policy) surface at
+       mount time inside the run, not from Machines.get — report them as
+       friendly CLI errors too. *)
+    (try
+       with_pool jobs (fun pool ->
         let futures =
           List.map
             (fun n ->
@@ -299,12 +409,19 @@ let run_cmd =
                  string_of_int (Report.get r "net.bytes.total" / 1024);
                  Printf.sprintf "%.6g" r.Report.checksum;
                ]
+              @ (if fault_cols = [] then []
+                 else
+                   [
+                     string_of_int (Report.dropped r);
+                     string_of_int (Report.retransmissions r);
+                   ])
               @
-              if fault_cols = [] then []
+              if crash_cols = [] then []
               else
                 [
-                  string_of_int (Report.dropped r);
-                  string_of_int (Report.retransmissions r);
+                  string_of_int (Report.crashes r);
+                  string_of_int (Report.ckpt_count r);
+                  Table.cell_f ~digits:3 (1e3 *. Report.recovery_time r);
                 ]);
             if stats then begin
               Printf.printf "--- counters (procs=%d)\n" n;
@@ -312,12 +429,21 @@ let run_cmd =
                 (fun (k, v) -> Printf.printf "%-32s %d\n" k v)
                 r.Report.counters
             end)
-          futures);
+          futures)
+     with Invalid_argument msg ->
+       Printf.eprintf "shmsim: %s\n" msg;
+       exit 2);
     Table.print table;
+    if Lifecycle.active crash then
+      List.iter
+        (fun (n, r) ->
+          Printf.printf "crash (procs=%d): %s\n" n (Report.crash_summary r))
+        (List.rev !results);
     Option.iter
       (fun path ->
         write_run_json path ~app:app.name ~platform:platform.Platform.name
-          ~scale:(Registry.scale_name scale) ~faults (List.rev !results))
+          ~scale:(Registry.scale_name scale) ~faults ~crash
+          (List.rev !results))
       json;
     Option.iter
       (fun (path, tr) ->
@@ -330,6 +456,7 @@ let run_cmd =
     Term.(
       const run $ app_arg $ platform_arg $ protocol_arg $ procs_arg $ scale_arg
       $ stats_arg $ jobs_arg $ drop_arg $ dup_arg $ jitter_arg $ fault_seed_arg
+      $ crash_arg $ crash_rate_arg $ outage_arg $ ckpt_interval_arg
       $ max_cycles_arg $ json_arg $ trace_arg)
 
 let list_cmd =

@@ -12,9 +12,13 @@ let describe =
 
 let mount (ctx : Shm_proto.ctx) =
   let fabric = Fabric.create ctx.eng ctx.counters ctx.fabric ~nodes:ctx.nodes in
+  (* Attach before the system creates its Reliable channel, so the
+     channel arms sequencing/retransmission and sees node liveness. *)
+  Option.iter (Fabric.attach_lifecycle fabric) ctx.lifecycle;
   let sys =
-    System.create ctx.eng ctx.counters fabric ~page_words:ctx.page_words
-      ~shared_words:ctx.shared_words ~memories:ctx.memories
+    System.create ?lifecycle:ctx.lifecycle ctx.eng ctx.counters fabric
+      ~page_words:ctx.page_words ~shared_words:ctx.shared_words
+      ~memories:ctx.memories
   in
   {
     Shm_proto.i_name = name;

@@ -6,6 +6,7 @@ module Reliable = Shm_net.Reliable
 module Msg = Shm_net.Msg
 module Memory = Shm_memsys.Memory
 module Counters = Shm_stats.Counters
+module Lifecycle = Shm_sim.Lifecycle
 module Iset = Set.Make (Int)
 
 type page_access = Invalid | Read | Write
@@ -46,6 +47,14 @@ type mpage = {
 
 type mlock = { mutable held : bool; lock_waiters : (int * int) Queue.t }
 
+type recov = {
+  image : Memory.t;
+      (** failure-atomic checkpoint image; page-granular for IVY (whole
+          pages move, so whole pages checkpoint — contrast the TreadMarks
+          sub-page run-length deltas) *)
+  ckpt_dirty : Bytes.t;  (** pages touched since the last checkpoint *)
+}
+
 type node = {
   id : int;
   mem : Memory.t;
@@ -59,6 +68,7 @@ type node = {
   mutable next_req : int;
   inflight : (int, Waitq.t) Hashtbl.t;
   steal : int ref;
+  mutable recov : recov option;  (** checkpoint state; [None] = crash-free *)
 }
 
 type barrier_state = { mutable arrivals : (int * int) list }
@@ -74,6 +84,11 @@ type t = {
   barriers : barrier_state array;
   page_shift : int;  (** log2 page_words, or -1 if not a power of two *)
   mutable page_hook : node:int -> page:int -> unit;
+  lock_home : (int, int) Hashtbl.t;
+      (** re-homed lock managers; empty (fall through to the static
+          [lock mod n_nodes] mapping) until a crash moves one *)
+  mutable barrier_home : int;  (** current barrier manager; starts at 0 *)
+  lifecycle : Lifecycle.t option;
 }
 
 let page_of t addr =
@@ -84,9 +99,14 @@ let page_shift t = t.page_shift
 let access_rights t ~node = t.nodes.(node).rights
 
 (* Every [access] transition goes through here so the TLB mirror never
-   drifts. *)
+   drifts.  A transition to [Write] marks the page for the next
+   checkpoint: once writable, the application mutates it with no further
+   protocol event. *)
 let set_access nd page (a : page_access) =
   nd.access.(page) <- a;
+  (match nd.recov with
+  | Some rv when a = Write -> Bytes.unsafe_set rv.ckpt_dirty page '\001'
+  | Some _ | None -> ());
   Bytes.unsafe_set nd.rights page
     (match a with Invalid -> '\000' | Read -> '\001' | Write -> '\002')
 
@@ -96,11 +116,18 @@ let set_page_hook t f = t.page_hook <- f
 
 let manager_of t page = page mod t.n_nodes
 
-let lock_manager_of t lock = lock mod t.n_nodes
+(* The page directory is deliberately NOT re-homed on a crash: requests
+   to a down manager stall in the senders' retransmit queues until it
+   restarts (a documented deviation — see DESIGN.md §13).  Locks and the
+   barrier do re-home, through the overrides below. *)
+let lock_manager_of t lock =
+  match Hashtbl.find_opt t.lock_home lock with
+  | Some home -> home
+  | None -> lock mod t.n_nodes
 
 let overhead t = (Fabric.config (Reliable.fabric t.net)).Fabric.overhead
 
-let create eng counters fabric ~page_words ~shared_words ~memories =
+let create ?lifecycle eng counters fabric ~page_words ~shared_words ~memories =
   let n_nodes = Array.length memories in
   let n_pages = (shared_words + page_words - 1) / page_words in
   let mk_node id =
@@ -128,26 +155,53 @@ let create eng counters fabric ~page_words ~shared_words ~memories =
       next_req = 0;
       inflight = Hashtbl.create 8;
       steal = ref 0;
+      recov = None;
     }
   in
   (* The initial owner (the manager) holds each page in Read like everyone
      else; ownership only matters once someone writes. *)
-  {
-    eng;
-    counters;
-    net = Reliable.create eng counters fabric;
-    page_words;
-    n_pages;
-    n_nodes;
-    nodes = Array.init n_nodes mk_node;
-    barriers = Array.init 16 (fun _ -> { arrivals = [] });
-    page_shift =
-      (if page_words > 0 && page_words land (page_words - 1) = 0 then
-         let rec go s n = if n = 1 then s else go (s + 1) (n lsr 1) in
-         go 0 page_words
-       else -1);
-    page_hook = (fun ~node:_ ~page:_ -> ());
-  }
+  let t =
+    {
+      eng;
+      counters;
+      net = Reliable.create eng counters fabric;
+      page_words;
+      n_pages;
+      n_nodes;
+      nodes = Array.init n_nodes mk_node;
+      barriers = Array.init 16 (fun _ -> { arrivals = [] });
+      page_shift =
+        (if page_words > 0 && page_words land (page_words - 1) = 0 then
+           let rec go s n = if n = 1 then s else go (s + 1) (n lsr 1) in
+           go 0 page_words
+         else -1);
+      page_hook = (fun ~node:_ ~page:_ -> ());
+      lock_home = Hashtbl.create 8;
+      barrier_home = 0;
+      lifecycle;
+    }
+  in
+  (match lifecycle with
+  | None -> ()
+  | Some _ ->
+      (* Crash-aware reliability: suspected deaths are reported once per
+         packet and timers park at the peer's restart instead of
+         aborting (see the TreadMarks counterpart). *)
+      Reliable.set_policy t.net
+        {
+          Reliable.default_policy with
+          Reliable.backoff_cap = 6;
+          on_peer_down = Some (fun ~src:_ ~dst:_ ~attempts:_ -> ());
+        };
+      let words = n_pages * page_words in
+      Array.iter
+        (fun nd ->
+          let image = Memory.create ~words in
+          Memory.blit ~src:nd.mem ~src_pos:0 ~dst:image ~dst_pos:0 ~len:words;
+          nd.recov <-
+            Some { image; ckpt_dirty = Bytes.make n_pages '\000' })
+        t.nodes);
+  t
 
 let fresh_req nd =
   let r = nd.next_req in
@@ -176,6 +230,9 @@ let install_page t fiber nd page data =
   Array.iteri
     (fun k v -> Memory.set nd.mem ((page * t.page_words) + k) v)
     data;
+  (match nd.recov with
+  | Some rv -> Bytes.unsafe_set rv.ckpt_dirty page '\001'
+  | None -> ());
   Engine.advance fiber t.page_words;
   t.page_hook ~node:nd.id ~page
 
@@ -344,16 +401,138 @@ and dispatch t fiber nd ~src body =
       if mp.acks_waited = 0 then mgr_proceed_write t fiber nd page
   | Proto.Txn_done { page; requester; write } ->
       mgr_txn_done t fiber nd page ~requester ~write:(write = 1)
-  | Proto.Lock_req { lock; requester; req } ->
-      mgr_lock_req t fiber nd ~lock ~requester ~req
-  | Proto.Unlock { lock; requester } ->
+  | Proto.Lock_req { lock; requester; req } as body ->
+      (* Stale destination after a crash re-homed the lock (the request
+         outlived the outage in a peer's retransmit queue): forward. *)
+      let home = lock_manager_of t lock in
+      if home <> nd.id then begin
+        Counters.incr t.counters "recovery.forwards";
+        deliver t fiber ~src:nd.id ~dst:home body
+      end
+      else mgr_lock_req t fiber nd ~lock ~requester ~req
+  | Proto.Unlock { lock; requester } as body ->
       ignore requester;
-      mgr_unlock t fiber nd ~lock
-  | Proto.Barrier_arrive { barrier; node; req } ->
-      mgr_barrier_arrive t fiber nd ~id:barrier ~node ~req
+      let home = lock_manager_of t lock in
+      if home <> nd.id then begin
+        Counters.incr t.counters "recovery.forwards";
+        deliver t fiber ~src:nd.id ~dst:home body
+      end
+      else mgr_unlock t fiber nd ~lock
+  | Proto.Barrier_arrive { barrier; node; req } as body ->
+      if t.barrier_home <> nd.id then begin
+        Counters.incr t.counters "recovery.forwards";
+        deliver t fiber ~src:nd.id ~dst:t.barrier_home body
+      end
+      else mgr_barrier_arrive t fiber nd ~id:barrier ~node ~req
   | Proto.Page_copy { req; _ } | Proto.Page_grant { req; _ }
   | Proto.Lock_grant { req; _ } | Proto.Barrier_depart { req; _ } ->
       route_response nd ~req body ~at:(Engine.clock fiber)
+
+(* ---------------- crash recovery (DESIGN.md §13) ------------------- *)
+
+(* Page-granular failure-atomic checkpoint: whole dirty pages copy into
+   the image (IVY moves whole pages, so it persists whole pages —
+   contrast the TreadMarks sub-page run-length deltas).  Runs from an
+   [Engine.schedule] callback; cost charged through [steal]. *)
+let checkpoint t nd =
+  match nd.recov with
+  | None -> ()
+  | Some rv ->
+      let pw = t.page_words in
+      let bytes = ref 0 and copied = ref 0 in
+      (* Probe before persisting: a writable page stays ckpt-dirty
+         between sweeps by design, but re-persisting it when nothing
+         changed would make every sweep cost the whole working set —
+         the per-sweep charge outruns the checkpoint interval on large
+         runs and the simulation quasi-livelocks.  The probe itself
+         rides the page-table write bits, so only pages that actually
+         changed are copied and charged.  Accounting stays whole-page:
+         IVY's protocol (and hence persistence) unit is the page. *)
+      for p = 0 to t.n_pages - 1 do
+        if Bytes.get rv.ckpt_dirty p <> '\000' then begin
+          if not (Memory.equal_range nd.mem rv.image ~pos:(p * pw) ~len:pw)
+          then begin
+            Memory.blit ~src:nd.mem ~src_pos:(p * pw) ~dst:rv.image
+              ~dst_pos:(p * pw) ~len:pw;
+            bytes := !bytes + 16 + (8 * pw);
+            copied := !copied + pw
+          end;
+          (* A writable page keeps changing with no further protocol
+             event: keep it dirty for the next checkpoint. *)
+          if nd.access.(p) <> Write then Bytes.set rv.ckpt_dirty p '\000'
+        end
+      done;
+      nd.steal := !(nd.steal) + (overhead t).handler + !copied;
+      Counters.incr t.counters "ckpt.count";
+      Counters.add t.counters "ckpt.bytes" !bytes
+
+(* Online rejoin of a restarted node: every page it neither owns nor has
+   a transaction in flight for is conservatively invalidated, so the
+   next access re-fetches a fresh copy through the (sequentially
+   consistent) manager.  Owned pages are authoritative — the volatile
+   copy survives the outage under the failure-atomic heap model — and
+   invalidating them would strand the directory. *)
+let rejoin t nd =
+  match nd.recov with
+  | None -> ()
+  | Some _ ->
+      for p = 0 to t.n_pages - 1 do
+        if nd.access.(p) <> Invalid && not (Hashtbl.mem nd.inflight p) then begin
+          let mp = Hashtbl.find t.nodes.(manager_of t p).mpages p in
+          let ours =
+            mp.owner = nd.id
+            || mp.busy
+               &&
+               match mp.current with
+               | Some { requester; _ } -> requester = nd.id
+               | None -> false
+          in
+          if not ours then begin
+            set_access nd p Invalid;
+            t.page_hook ~node:nd.id ~page:p;
+            Counters.incr t.counters "recovery.invalidated"
+          end
+        end
+      done;
+      let cycles = (overhead t).handler + t.n_pages in
+      nd.steal := !(nd.steal) + cycles;
+      Counters.incr t.counters "recovery.count";
+      Counters.add t.counters "recovery.cycles" cycles
+
+(* Re-home the lock and barrier managers of a crashed node onto the next
+   surviving node.  The [mlock] records are shared (replicated manager
+   state), so holders and queued waiters survive the move; requests that
+   still name the dead node are forwarded by its handler after restart.
+   The page directory is NOT re-homed — see [lock_manager_of]. *)
+let rehome t lc ~dead =
+  let successor =
+    let rec go k =
+      if k >= t.n_nodes then None
+      else
+        let c = (dead + k) mod t.n_nodes in
+        if Lifecycle.alive lc c then Some c else go (k + 1)
+    in
+    go 1
+  in
+  match successor with
+  | None -> ()
+  | Some s ->
+      let moved = ref 0 in
+      Hashtbl.iter
+        (fun lock ml ->
+          if lock_manager_of t lock = dead then begin
+            Hashtbl.replace t.lock_home lock s;
+            Hashtbl.replace t.nodes.(s).mlocks lock ml;
+            incr moved
+          end)
+        t.nodes.(dead).mlocks;
+      if t.barrier_home = dead then begin
+        (* Arrival state lives in [t.barriers], visible to the successor;
+           only the role moves. *)
+        t.barrier_home <- s;
+        incr moved
+      end;
+      if !moved > 0 then Counters.add t.counters "recovery.rehomes" !moved
 
 let handler_loop t nd fiber =
   let ov = overhead t in
@@ -378,6 +557,15 @@ let handler_loop t nd fiber =
 
 let start t =
   Reliable.start t.net;
+  (match t.lifecycle with
+  | None -> ()
+  | Some lc ->
+      Lifecycle.on_ckpt lc (fun ~at:_ ->
+          Array.iter
+            (fun nd -> if Lifecycle.alive lc nd.id then checkpoint t nd)
+            t.nodes);
+      Lifecycle.on_detect lc (fun ~node ~at:_ -> rehome t lc ~dead:node);
+      Lifecycle.on_restart lc (fun ~node ~at:_ -> rejoin t t.nodes.(node)));
   Array.iter
     (fun nd ->
       ignore
@@ -542,7 +730,7 @@ let barrier_arrive t fiber ~node ~id =
   Engine.with_category fiber Engine.Protocol @@ fun () ->
   let req = fresh_req nd in
   let mb = register_req t nd req in
-  deliver t fiber ~src:nd.id ~dst:0
+  deliver t fiber ~src:nd.id ~dst:t.barrier_home
     (Proto.Barrier_arrive { barrier = id; node = nd.id; req });
   (match
      Engine.with_category fiber Engine.Barrier_wait (fun () ->

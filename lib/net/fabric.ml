@@ -88,6 +88,11 @@ type 'a t = {
      (deterministic run, fault_seed). *)
   prng : Prng.t;
   active : bool;
+  (* Node liveness, attached by the platform when a crash/restart policy
+     is armed.  [None] keeps the exact pre-lifecycle delivery path (post
+     at send time); [Some] defers the final delivery decision to the
+     arrival cycle, where a message landing on a down node is dropped. *)
+  mutable lifecycle : Shm_sim.Lifecycle.t option;
 }
 
 let create eng counters cfg ~nodes =
@@ -113,7 +118,12 @@ let create eng counters cfg ~nodes =
     inbox = Array.init nodes (fun _ -> Mailbox.create eng);
     prng = Prng.create ~seed:(0x5EED_F417 lxor cfg.faults.fault_seed);
     active = faults_active cfg.faults;
+    lifecycle = None;
   }
+
+let attach_lifecycle t lc = t.lifecycle <- Some lc
+
+let lifecycle t = t.lifecycle
 
 let nodes t = t.n
 
@@ -136,7 +146,7 @@ let count t ~class_ ~(size : Msg.sizes) =
   bump k.c_payload size.payload_bytes;
   bump k.c_bytes (Msg.total_bytes size)
 
-let faults_armed t = t.active
+let faults_armed t = t.active || t.lifecycle <> None
 
 let in_blackout t ~src ~dst ~at =
   List.exists
@@ -197,8 +207,23 @@ let send t fiber ~src ~dst ~class_ ~size body =
       count t ~class_ ~size;
       let arrival = tx_done + t.cfg.latency_cycles + extra in
       let delivered = Resource.reserve t.rx.(dst) ~ready:arrival ~cycles in
-      bump t.cells.c_delivered 1;
-      Mailbox.post t.inbox.(dst) ~at:delivered { Msg.src; dst; class_; size; body }
+      match t.lifecycle with
+      | None ->
+          bump t.cells.c_delivered 1;
+          Mailbox.post t.inbox.(dst) ~at:delivered
+            { Msg.src; dst; class_; size; body }
+      | Some lc ->
+          (* Crash state at the arrival cycle is unknowable at send time,
+             so the post happens from a scheduled callback: a message
+             arriving during the receiver's outage is lost on the floor
+             (the sender's reliable layer will retransmit it). *)
+          let env = { Msg.src; dst; class_; size; body } in
+          Engine.schedule t.eng ~at:delivered (fun () ->
+              if Shm_sim.Lifecycle.alive lc dst then begin
+                bump t.cells.c_delivered 1;
+                Mailbox.post t.inbox.(dst) ~at:delivered env
+              end
+              else Counters.incr t.counters "net.faults.node_down")
     in
     (* The sender is released once the message leaves its link. *)
     Engine.set_clock fiber tx_done;

@@ -68,8 +68,21 @@ val nodes : 'a t -> int
 val config : 'a t -> config
 
 (** [faults_armed t] is true iff the fabric was created with an active
-    fault policy. *)
+    fault policy or has a node-lifecycle attached — i.e. iff delivery can
+    fail, so reliability layers must arm sequencing and retransmission. *)
 val faults_armed : 'a t -> bool
+
+(** [attach_lifecycle t lc] arms whole-node crash semantics: every
+    delivery decision moves to the arrival cycle, and a message arriving
+    at a node that is down is dropped (counted as
+    [net.faults.node_down]).  Attach before creating reliability layers
+    over the fabric so they observe {!faults_armed}.  Message-fault PRNG
+    draws are unaffected: a lifecycle without drop/dup/jitter rates makes
+    no draws. *)
+val attach_lifecycle : 'a t -> Shm_sim.Lifecycle.t -> unit
+
+(** [lifecycle t] is the attached crash policy instance, if any. *)
+val lifecycle : 'a t -> Shm_sim.Lifecycle.t option
 
 (** [wire_cycles t bytes] is the link occupancy, in cycles, of a
     [bytes]-byte message (reliability layers use it to derive

@@ -22,12 +22,25 @@ let () =
 
 let max_retries = 10
 
+(* Retry/abort policy (configurable; see mli).  [on_peer_down = None]
+   reproduces the historical behavior exactly: raise [Peer_unreachable]
+   after [max_retries] failed retransmissions, uncapped backoff. *)
+type policy = {
+  p_max_retries : int;
+  backoff_cap : int;
+  on_peer_down : (src:int -> dst:int -> attempts:int -> unit) option;
+}
+
+let default_policy =
+  { p_max_retries = max_retries; backoff_cap = 0; on_peer_down = None }
+
 (* Outbound packet awaiting acknowledgement. *)
 type 'a pending = {
   p_class : Msg.class_;
   p_size : Msg.sizes;
   p_body : 'a;
   mutable attempts : int;
+  mutable noted_down : bool; (* [on_peer_down] fired for this packet *)
 }
 
 (* One direction of one (node, peer) pair.  [next_seq]/[unacked] describe
@@ -52,10 +65,13 @@ type 'a t = {
   links : 'a link array array; (* links.(node).(peer) *)
   cmds : cmd Mailbox.t array; (* per-node retransmit-daemon timer queue *)
   ready : 'a Msg.envelope Queue.t array; (* in-order backlog from ooo drain *)
+  mutable policy : policy;
 }
 
 let fabric t = t.fabric
 let armed t = t.armed
+let set_policy t p = t.policy <- p
+let policy t = t.policy
 
 let create eng counters fabric =
   let n = Fabric.nodes fabric in
@@ -77,6 +93,7 @@ let create eng counters fabric =
     links = Array.init n (fun _ -> Array.init n (fun _ -> link ()));
     cmds = Array.init n (fun _ -> Mailbox.create eng);
     ready = Array.init n (fun _ -> Queue.create ());
+    policy = default_policy;
   }
 
 (* Timeouts derive from the fabric's latency/bandwidth model: one-way wire
@@ -116,7 +133,13 @@ let send t fiber ~src ~dst ~class_ ~size body =
     let seq = l.next_seq in
     l.next_seq <- seq + 1;
     Hashtbl.replace l.unacked seq
-      { p_class = class_; p_size = size; p_body = body; attempts = 0 };
+      {
+        p_class = class_;
+        p_size = size;
+        p_body = body;
+        attempts = 0;
+        noted_down = false;
+      };
     l.ack_owed <- false (* this packet piggybacks the ack *);
     Counters.incr t.counters "net.reliable.data";
     Fabric.send t.fabric fiber ~src ~dst ~class_ ~size
@@ -208,6 +231,22 @@ let rec recv t fiber ~node =
             recv t fiber ~node
           end)
 
+(* [down_until] of a node under the fabric's lifecycle; 0 = alive (or no
+   lifecycle attached, where every node is permanently alive). *)
+let node_down_until t n =
+  match Fabric.lifecycle t.fabric with
+  | None -> 0
+  | Some lc -> Shm_sim.Lifecycle.down_until lc n
+
+let note_peer_down t ~src ~dst p =
+  if not p.noted_down then begin
+    p.noted_down <- true;
+    Counters.incr t.counters "net.reliable.peer_down";
+    match t.policy.on_peer_down with
+    | Some cb -> cb ~src ~dst ~attempts:p.attempts
+    | None -> ()
+  end
+
 let retx_daemon t node fiber =
   let rec loop () =
     (match
@@ -219,28 +258,65 @@ let retx_daemon t node fiber =
         match Hashtbl.find_opt l.unacked seq with
         | None -> () (* acked in the meantime; stale timer *)
         | Some p ->
-            p.attempts <- p.attempts + 1;
-            if p.attempts > max_retries then
-              raise
-                (Peer_unreachable
-                   { src = node; dst = peer; seq; attempts = p.attempts });
-            Counters.incr t.counters "net.retrans.total";
-            Engine.instant fiber "net.retransmit";
-            l.ack_owed <- false;
-            Engine.with_category fiber Engine.Protocol (fun () ->
-                Fabric.send t.fabric fiber ~src:node ~dst:peer
-                  ~class_:p.p_class ~size:p.p_size
-                  (Data { seq; ack = cumulative_ack l; body = p.p_body }));
-            let backoff = base_timeout t ~size:p.p_size lsl p.attempts in
-            Mailbox.post t.cmds.(node)
-              ~at:(Engine.clock fiber + backoff)
-              (Retx { peer; seq }))
+            let now = Engine.clock fiber in
+            let self_down = node_down_until t node in
+            let peer_down = node_down_until t peer in
+            if self_down > now then
+              (* This node crashed: a dead host retransmits nothing.  The
+                 timer freezes (no attempt consumed) until restart. *)
+              Mailbox.post t.cmds.(node) ~at:self_down (Retx { peer; seq })
+            else if peer_down > now && t.policy.on_peer_down <> None then begin
+              (* The peer is down and a crash-aware policy is installed:
+                 report the death once per packet and park the timer at
+                 the peer's restart cycle — crash detection and transient
+                 loss share this one retransmission path. *)
+              note_peer_down t ~src:node ~dst:peer p;
+              Mailbox.post t.cmds.(node) ~at:peer_down (Retx { peer; seq })
+            end
+            else begin
+              p.attempts <- p.attempts + 1;
+              if p.attempts > t.policy.p_max_retries then begin
+                match t.policy.on_peer_down with
+                | None ->
+                    raise
+                      (Peer_unreachable
+                         { src = node; dst = peer; seq; attempts = p.attempts })
+                | Some _ ->
+                    (* Keep probing: the policy owns giving up.  Without
+                       the peer-down report above this packet has now also
+                       exhausted the transient-loss budget, so report. *)
+                    note_peer_down t ~src:node ~dst:peer p
+              end;
+              Counters.incr t.counters "net.retrans.total";
+              Engine.instant fiber "net.retransmit";
+              l.ack_owed <- false;
+              Engine.with_category fiber Engine.Protocol (fun () ->
+                  Fabric.send t.fabric fiber ~src:node ~dst:peer
+                    ~class_:p.p_class ~size:p.p_size
+                    (Data { seq; ack = cumulative_ack l; body = p.p_body }));
+              let exp =
+                if t.policy.backoff_cap > 0 then
+                  min p.attempts t.policy.backoff_cap
+                else p.attempts
+              in
+              let backoff = base_timeout t ~size:p.p_size lsl exp in
+              Mailbox.post t.cmds.(node)
+                ~at:(Engine.clock fiber + backoff)
+                (Retx { peer; seq })
+            end)
     | Ack_due { peer } ->
-        let l = t.links.(node).(peer) in
-        l.ack_timer_armed <- false;
-        if l.ack_owed then
-          Engine.with_category fiber Engine.Protocol (fun () ->
-              send_ack t fiber ~src:node ~dst:peer));
+        let now = Engine.clock fiber in
+        let self_down = node_down_until t node in
+        if self_down > now then
+          (* Dead hosts do not ack; re-arm for after the restart. *)
+          Mailbox.post t.cmds.(node) ~at:self_down (Ack_due { peer })
+        else begin
+          let l = t.links.(node).(peer) in
+          l.ack_timer_armed <- false;
+          if l.ack_owed then
+            Engine.with_category fiber Engine.Protocol (fun () ->
+                send_ack t fiber ~src:node ~dst:peer)
+        end);
     loop ()
   in
   loop ()

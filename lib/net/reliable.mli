@@ -25,7 +25,15 @@
 
     Counters: [net.reliable.data], [net.reliable.acks],
     [net.reliable.dups] (duplicates suppressed), [net.reliable.ooo]
-    (early packets buffered), [net.retrans.total]. *)
+    (early packets buffered), [net.retrans.total],
+    [net.reliable.peer_down] (suspected-crash reports under a crash-aware
+    {!policy}).
+
+    With a {!Shm_sim.Lifecycle} attached to the fabric, a crashed node's
+    own retransmit and ack timers freeze (a dead host sends nothing) and
+    resume at its restart cycle; under a crash-aware policy, timers for
+    packets addressed to a down peer park at the peer's restart cycle
+    instead of burning retry attempts. *)
 
 type 'a packet
 (** Wire representation carried by the underlying fabric. *)
@@ -37,8 +45,33 @@ exception
 (** Raised (inside the simulation) when a packet stays unacknowledged
     after {!max_retries} retransmissions. *)
 
-(** Retransmission budget per packet before {!Peer_unreachable}. *)
+(** Default retransmission budget per packet before {!Peer_unreachable}. *)
 val max_retries : int
+
+type policy = {
+  p_max_retries : int;
+      (** retransmissions before the packet's loss budget is exhausted *)
+  backoff_cap : int;
+      (** cap on the backoff exponent ([timeout = base * 2^min(attempt,
+          cap)]); [0] = uncapped doubling *)
+  on_peer_down : (src:int -> dst:int -> attempts:int -> unit) option;
+      (** Crash-detection callback.  [None] (the default) keeps the
+          historical abort: {!Peer_unreachable} raised once a packet
+          exceeds [p_max_retries].  [Some cb] never raises: the layer
+          reports the suspected death once per packet — immediately when
+          the fabric's lifecycle says the peer is down, else when the
+          retry budget runs out — and keeps retransmitting (capped
+          backoff), so transient loss and whole-node crashes share one
+          code path and delivery resumes when the peer restarts. *)
+}
+
+(** [{p_max_retries = max_retries; backoff_cap = 0; on_peer_down = None}]
+    — exactly the historical 10-retry abort. *)
+val default_policy : policy
+
+val set_policy : 'a t -> policy -> unit
+
+val policy : 'a t -> policy
 
 (** [create eng counters fabric] builds the channel.  The fault policy is
     read from the fabric's config: reliability machinery is armed iff

@@ -1,4 +1,5 @@
 module Engine = Shm_sim.Engine
+module Lifecycle = Shm_sim.Lifecycle
 module Counters = Shm_stats.Counters
 module Fabric = Shm_net.Fabric
 module Overhead = Shm_net.Overhead
@@ -22,8 +23,8 @@ let default_fault_watchdog = 200_000_000_000
    this runner owns the machine (fabric timing, private caches, the
    software-TLB fast path, the processor fibers). *)
 let make ~engine:(module E : Shm_proto.ENGINE) ?(faults = Fabric.no_faults)
-    ?max_cycles ?(instrument = Instrument.off) ~name ~clock_mhz ~max_procs
-    ~fabric_of ~cache_cfg ~eager () =
+    ?(crash = Lifecycle.none) ?max_cycles ?(instrument = Instrument.off) ~name
+    ~clock_mhz ~max_procs ~fabric_of ~cache_cfg ~eager () =
   (match E.kind with
   | Shm_proto.Sdsm -> ()
   | Shm_proto.Hw ->
@@ -35,6 +36,13 @@ let make ~engine:(module E : Shm_proto.ENGINE) ?(faults = Fabric.no_faults)
   let run (app : Parmacs.app) ~nprocs =
     let eng = Instrument.engine instrument in
     let counters = Counters.create () in
+    (* Crash-free runs never construct a lifecycle: every code path below
+       is then byte-identical to the pre-crash-layer platform. *)
+    let lifecycle =
+      if Lifecycle.active crash then
+        Some (Lifecycle.create eng counters crash ~nodes:nprocs)
+      else None
+    in
     (* Round up to whole pages: the engines work page-at-a-time. *)
     let shared_words = (app.shared_words + page_words - 1) / page_words * page_words in
     let image = Memory.create ~words:shared_words in
@@ -57,6 +65,7 @@ let make ~engine:(module E : Shm_proto.ENGINE) ?(faults = Fabric.no_faults)
           memories;
           eager_lock_hints = (if eager then app.eager_lock_hints else []);
           hw_profile = None;
+          lifecycle;
         }
     in
     let caches = Array.init nprocs (fun _ -> Private_cache.create cache_cfg) in
@@ -157,17 +166,107 @@ let make ~engine:(module E : Shm_proto.ENGINE) ?(faults = Fabric.no_faults)
                  compute = (fun n -> Engine.advance f n);
                }
              in
+             (* With a crash policy armed, every shared-memory and
+                synchronization operation first gates on the node's
+                liveness: a crashed node's processors park at their next
+                shared access (the failure-atomicity boundary) and resume
+                at the restart cycle, after the engine's rejoin hooks
+                ran.  The [None] arm reuses [ctx] untouched, so the hot
+                paths of crash-free runs are the exact closures above. *)
+             let ctx =
+               match lifecycle with
+               | None -> ctx
+               | Some lc ->
+                   let g () = Lifecycle.gate lc f ~node in
+                   let range =
+                     if inst.Shm_proto.wordwise_ranges then
+                       Parmacs.range_ops_wordwise
+                         ~read:(fun addr ->
+                           g ();
+                           read addr)
+                         ~write:(fun addr v ->
+                           g ();
+                           write addr v)
+                     else
+                       Parmacs.range_ops_of_runs ~mem
+                         ~read_run:(fun addr words ~f:move ->
+                           g ();
+                           inst.Shm_proto.read_range_guard f ~node addr words
+                             ~f:(fun p l ->
+                               Private_cache.read_range pc f p l;
+                               move p l))
+                         ~write_run:(fun addr words ~f:move ->
+                           g ();
+                           inst.Shm_proto.write_range_guard f ~node addr words
+                             ~f:(fun p l ->
+                               Private_cache.write_range pc f p l;
+                               move p l))
+                   in
+                   {
+                     ctx with
+                     Parmacs.read =
+                       (fun addr ->
+                         g ();
+                         read addr);
+                     write =
+                       (fun addr v ->
+                         g ();
+                         write addr v);
+                     readf =
+                       (fun addr ->
+                         g ();
+                         readf addr);
+                     writef =
+                       (fun addr ->
+                         g ();
+                         writef addr);
+                     readi =
+                       (fun addr ->
+                         g ();
+                         readi addr);
+                     writei =
+                       (fun addr ->
+                         g ();
+                         writei addr);
+                     range;
+                     lock =
+                       (fun l ->
+                         g ();
+                         inst.Shm_proto.acquire f ~node ~lock:l);
+                     unlock =
+                       (fun l ->
+                         g ();
+                         inst.Shm_proto.release f ~node ~lock:l);
+                     barrier =
+                       (fun b ->
+                         g ();
+                         inst.Shm_proto.barrier_arrive f ~node ~id:b);
+                   }
+             in
              app.work ctx;
              ends.(node) <- Engine.clock f))
     in
+    Option.iter Lifecycle.start lifecycle;
     let max_cycles =
       match max_cycles with
       | Some _ -> max_cycles
       | None ->
-          if Fabric.faults_active faults then Some default_fault_watchdog
+          if Fabric.faults_active faults || lifecycle <> None then
+            Some default_fault_watchdog
           else None
     in
-    Engine.run ?max_cycles ~diag:(fun () -> inst.Shm_proto.retx_note ()) eng;
+    (* Diagnostics distinguish "blocked on a crashed peer" from a genuine
+       deadlock: the lifecycle's liveness note rides along with the
+       pending-retransmission summary in every blocked-fiber report. *)
+    let diag () =
+      let base = inst.Shm_proto.retx_note () in
+      match lifecycle with
+      | None -> base
+      | Some lc ->
+          let ln = Lifecycle.note lc in
+          if base = "" then ln else base ^ "; " ^ ln
+    in
+    Engine.run ?max_cycles ~diag eng;
     inst.Shm_proto.check_invariants ();
     Instrument.finish instrument counters fibers;
     {
@@ -182,8 +281,8 @@ let make ~engine:(module E : Shm_proto.ENGINE) ?(faults = Fabric.no_faults)
   in
   { Platform.name; clock_mhz; max_procs; run }
 
-let dec ?(eager = false) ?(protocol = "lrc") ?faults ?max_cycles ?instrument
-    ~level () =
+let dec ?(eager = false) ?(protocol = "lrc") ?faults ?crash ?max_cycles
+    ?instrument ~level () =
   let overhead, suffix =
     match level with
     | User -> (Overhead.treadmarks_user, "user")
@@ -195,16 +294,17 @@ let dec ?(eager = false) ?(protocol = "lrc") ?faults ?max_cycles ?instrument
     | "erc" -> "treadmarks-erc"
     | p -> Printf.sprintf "treadmarks-%s+%s" suffix p
   in
-  make ~engine:(Shm_engines.get protocol) ?faults ?max_cycles ?instrument ~name
-    ~clock_mhz:40.0 ~max_procs:8
+  make ~engine:(Shm_engines.get protocol) ?faults ?crash ?max_cycles
+    ?instrument ~name ~clock_mhz:40.0 ~max_procs:8
     ~fabric_of:(fun () -> Fabric.atm_dec ~overhead)
     ~cache_cfg:Private_cache.dec_config ~eager ()
 
 let as_machine ?(eager = false) ?(protocol = "lrc")
-    ?(overhead = Overhead.treadmarks_user) ?faults ?max_cycles ?instrument () =
+    ?(overhead = Overhead.treadmarks_user) ?faults ?crash ?max_cycles
+    ?instrument () =
   let name = if protocol = "lrc" then "AS" else "AS+" ^ protocol in
-  make ~engine:(Shm_engines.get protocol) ?faults ?max_cycles ?instrument ~name
-    ~clock_mhz:100.0 ~max_procs:256
+  make ~engine:(Shm_engines.get protocol) ?faults ?crash ?max_cycles
+    ?instrument ~name ~clock_mhz:100.0 ~max_procs:256
     ~fabric_of:(fun () -> Fabric.atm_sim ~overhead)
     ~cache_cfg:Private_cache.sim_node_config ~eager ()
 

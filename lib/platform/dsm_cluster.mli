@@ -20,6 +20,7 @@ type level = User | Kernel
 val make :
   engine:(module Shm_proto.ENGINE) ->
   ?faults:Shm_net.Fabric.faults ->
+  ?crash:Shm_sim.Lifecycle.policy ->
   ?max_cycles:int ->
   ?instrument:Instrument.t ->
   name:string ->
@@ -41,11 +42,16 @@ val make :
     generous backstop so a retransmission livelock cannot hang forever;
     [instrument] enables the per-fiber time breakdown (and optional
     Chrome-trace capture) — when left at {!Instrument.off} the run is
-    byte-identical to an uninstrumented one. *)
+    byte-identical to an uninstrumented one; [crash] arms whole-node
+    crash/restart injection with failure-atomic recovery (DESIGN.md §13)
+    — processors of a down node park at their next shared access and
+    the engine checkpoints, re-homes managers and replays on rejoin.
+    An inactive [crash] policy constructs nothing. *)
 val dec :
   ?eager:bool ->
   ?protocol:string ->
   ?faults:Shm_net.Fabric.faults ->
+  ?crash:Shm_sim.Lifecycle.policy ->
   ?max_cycles:int ->
   ?instrument:Instrument.t ->
   level:level ->
@@ -57,6 +63,7 @@ val as_machine :
   ?protocol:string ->
   ?overhead:Shm_net.Overhead.t ->
   ?faults:Shm_net.Fabric.faults ->
+  ?crash:Shm_sim.Lifecycle.policy ->
   ?max_cycles:int ->
   ?instrument:Instrument.t ->
   unit ->

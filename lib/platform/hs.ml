@@ -54,6 +54,7 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
           memories;
           eager_lock_hints = (if eager then app.eager_lock_hints else []);
           hw_profile = None;
+          lifecycle = None;
         }
     in
     let node_insts =
@@ -69,6 +70,7 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
               memories = [| memories.(n) |];
               eager_lock_hints = [];
               hw_profile = Some Shm_proto.Hs_node_bus;
+              lifecycle = None;
             })
     in
     dsm.Shm_proto.set_page_hook (fun ~node ~page ->

@@ -40,6 +40,7 @@ let run ~engine:(module E : Shm_proto.ENGINE) ~instrument ~platform_name
         memories = [| mem |];
         eager_lock_hints = [];
         hw_profile = Some profile;
+        lifecycle = None;
       }
   in
   inst.Shm_proto.start ();

@@ -5,11 +5,11 @@ module Private_cache = Shm_memsys.Private_cache
 (* The DECstation cluster with the IVY engine mounted by default: same
    hardware as Dsm_cluster.dec, different coherence protocol.  Kept as a
    named machine because it is the paper-adjacent ablation baseline. *)
-let make ?(protocol = "ivy") ?faults ?max_cycles ?instrument () =
+let make ?(protocol = "ivy") ?faults ?crash ?max_cycles ?instrument () =
   let name = if protocol = "ivy" then "ivy" else "ivy+" ^ protocol in
   let p =
-    Dsm_cluster.make ~engine:(Shm_engines.get protocol) ?faults ?max_cycles
-      ?instrument ~name ~clock_mhz:40.0 ~max_procs:64
+    Dsm_cluster.make ~engine:(Shm_engines.get protocol) ?faults ?crash
+      ?max_cycles ?instrument ~name ~clock_mhz:40.0 ~max_procs:64
       ~fabric_of:(fun () -> Fabric.atm_dec ~overhead:Overhead.treadmarks_user)
       ~cache_cfg:Private_cache.dec_config ~eager:false ()
   in

@@ -8,10 +8,12 @@
     but mounting something else here is equivalent to using
     {!Dsm_cluster.dec} with that protocol on a wider cluster. *)
 
-(** [faults] / [max_cycles] / [instrument] as in {!Dsm_cluster.dec}. *)
+(** [faults] / [crash] / [max_cycles] / [instrument] as in
+    {!Dsm_cluster.dec}. *)
 val make :
   ?protocol:string ->
   ?faults:Shm_net.Fabric.faults ->
+  ?crash:Shm_sim.Lifecycle.policy ->
   ?max_cycles:int ->
   ?instrument:Instrument.t ->
   unit ->

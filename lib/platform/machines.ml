@@ -10,6 +10,11 @@ let fault_capable =
 
 let protocols = Shm_engines.names
 
+(* Crash injection needs the node-lifecycle layer of the software-DSM
+   clusters; same membership as [fault_capable], kept separate so the
+   lists can diverge if a platform ever supports one but not the other. *)
+let crash_capable = fault_capable
+
 let reject_faults name faults =
   match faults with
   | Some f when Shm_net.Fabric.faults_active f ->
@@ -19,6 +24,17 @@ let reject_faults name faults =
             applies only to the software-DSM platforms (%s)"
            name
            (String.concat ", " fault_capable))
+  | _ -> ()
+
+let reject_crash name crash =
+  match crash with
+  | Some c when Shm_sim.Lifecycle.active c ->
+      invalid_arg
+        (Printf.sprintf
+           "platform %S models a reliable machine; whole-node crash \
+            injection applies only to the software-DSM platforms (%s)"
+           name
+           (String.concat ", " crash_capable))
   | _ -> ()
 
 let reject_protocol name protocol =
@@ -32,39 +48,46 @@ let reject_protocol name protocol =
            (String.concat ", " (List.filter (fun n -> n <> "dec") names)))
   | None -> ()
 
-let get ?faults ?max_cycles ?instrument ?protocol name =
+let get ?faults ?crash ?max_cycles ?instrument ?protocol name =
   match name with
   | "dec" ->
       reject_faults name faults;
+      reject_crash name crash;
       reject_protocol name protocol;
       Dsm_cluster.dec_plain ?instrument ()
   | "treadmarks" ->
-      Dsm_cluster.dec ?faults ?max_cycles ?instrument ?protocol
+      Dsm_cluster.dec ?faults ?crash ?max_cycles ?instrument ?protocol
         ~level:Dsm_cluster.User ()
   | "treadmarks-kernel" ->
-      Dsm_cluster.dec ?faults ?max_cycles ?instrument ?protocol
+      Dsm_cluster.dec ?faults ?crash ?max_cycles ?instrument ?protocol
         ~level:Dsm_cluster.Kernel ()
   | "treadmarks-eager" ->
-      Dsm_cluster.dec ?faults ?max_cycles ?instrument ?protocol ~eager:true
-        ~level:Dsm_cluster.User ()
+      Dsm_cluster.dec ?faults ?crash ?max_cycles ?instrument ?protocol
+        ~eager:true ~level:Dsm_cluster.User ()
   | "treadmarks-erc" ->
-      Dsm_cluster.dec ?faults ?max_cycles ?instrument
+      Dsm_cluster.dec ?faults ?crash ?max_cycles ?instrument
         ~protocol:(Option.value protocol ~default:"erc")
         ~level:Dsm_cluster.User ()
   | "ivy" ->
-      Ivy_cluster.make ?faults ?max_cycles ?instrument
+      Ivy_cluster.make ?faults ?crash ?max_cycles ?instrument
         ~protocol:(Option.value protocol ~default:"ivy") ()
   | "sgi" ->
       reject_faults name faults;
+      reject_crash name crash;
       Sgi.make ?protocol ?instrument ()
   | "sgi-fast" ->
       reject_faults name faults;
+      reject_crash name crash;
       Sgi.make_fast ?protocol ?instrument ()
-  | "as" -> Dsm_cluster.as_machine ?faults ?max_cycles ?instrument ?protocol ()
+  | "as" ->
+      Dsm_cluster.as_machine ?faults ?crash ?max_cycles ?instrument ?protocol
+        ()
   | "ah" ->
       reject_faults name faults;
+      reject_crash name crash;
       Ah.make ?protocol ?instrument ()
   | "hs" ->
       reject_faults name faults;
+      reject_crash name crash;
       Hs.make ?protocol ?instrument ()
   | name -> invalid_arg (Printf.sprintf "unknown platform %S" name)

@@ -9,25 +9,36 @@ val names : string list
     unreliable ATM fabric). *)
 val fault_capable : string list
 
+(** Platforms that accept an active crash policy — whole-node
+    crash/restart injection with checkpoint-based recovery (DESIGN.md
+    §13).  Currently equal to {!fault_capable}; the Tardis engine
+    additionally refuses to mount under a crash policy on any of them. *)
+val crash_capable : string list
+
 (** Registered coherence-engine names, mountable with [get ?protocol]
     (= {!Shm_engines.names}). *)
 val protocols : string list
 
 (** [get ?faults ?max_cycles name] builds the platform.  [faults] arms
-    network fault injection; [max_cycles] bounds each run with
-    {!Shm_sim.Engine.Watchdog} (fault-mode runs get a generous default
-    backstop).  Both are only meaningful on {!fault_capable} platforms —
-    the hardware platforms model reliable interconnects and refuse an
-    active policy.  [protocol] overrides the coherence engine the machine
-    mounts (see {!protocols}); machines refuse engines of the wrong kind
-    (a hardware engine on a message-passing cluster and vice versa), and
-    ["dec"] — a uniprocessor — refuses all of them.  [instrument] enables
-    the per-fiber time breakdown and optional Chrome-trace capture on any
-    platform (see {!Instrument}).
-    @raise Invalid_argument for an unknown name, an active fault policy
-    on a hardware platform, or an invalid machine x protocol combination. *)
+    network fault injection; [crash] arms whole-node crash/restart
+    injection with failure-atomic checkpoints and online recovery
+    (DESIGN.md §13); [max_cycles] bounds each run with
+    {!Shm_sim.Engine.Watchdog} (fault- and crash-mode runs get a generous
+    default backstop).  All three are only meaningful on {!fault_capable}
+    / {!crash_capable} platforms — the hardware platforms model reliable
+    machines and refuse an active policy.  [protocol] overrides the
+    coherence engine the machine mounts (see {!protocols}); machines
+    refuse engines of the wrong kind (a hardware engine on a
+    message-passing cluster and vice versa), and ["dec"] — a uniprocessor
+    — refuses all of them.  [instrument] enables the per-fiber time
+    breakdown and optional Chrome-trace capture on any platform (see
+    {!Instrument}).
+    @raise Invalid_argument for an unknown name, an active fault or crash
+    policy on a hardware platform, or an invalid machine x protocol
+    combination. *)
 val get :
   ?faults:Shm_net.Fabric.faults ->
+  ?crash:Shm_sim.Lifecycle.policy ->
   ?max_cycles:int ->
   ?instrument:Instrument.t ->
   ?protocol:string ->

@@ -39,6 +39,27 @@ let fault_summary t =
     (dups_suppressed t)
     (get t "net.reliable.acks")
 
+let crashes t = get t "sim.crashes"
+let restarts t = get t "sim.restarts"
+let downtime t = get t "sim.downtime"
+let ckpt_count t = get t "ckpt.count"
+let ckpt_bytes t = get t "ckpt.bytes"
+let recovery_cycles t = get t "recovery.cycles"
+
+(* Wall-clock seconds the crashed nodes spent rejoining — the
+   availability-under-churn figure of merit (EXPERIMENTS.md). *)
+let recovery_time t =
+  float_of_int (recovery_cycles t) /. (t.clock_mhz *. 1e6)
+
+let crash_summary t =
+  Printf.sprintf
+    "crashes=%d restarts=%d downtime=%d ckpts=%d ckpt_bytes=%d \
+     recoveries=%d recovery_cycles=%d invalidated=%d rehomes=%d"
+    (crashes t) (restarts t) (downtime t) (ckpt_count t) (ckpt_bytes t)
+    (get t "recovery.count") (recovery_cycles t)
+    (get t "recovery.invalidated")
+    (get t "recovery.rehomes")
+
 let breakdown t =
   List.filter_map
     (fun cat ->
@@ -50,7 +71,9 @@ let consumed_names =
   [
     "net.msgs.offered"; "net.msgs.delivered"; "net.faults.dropped";
     "net.faults.duplicated"; "net.retrans.total"; "net.reliable.dups";
-    "net.reliable.acks";
+    "net.reliable.acks"; "sim.crashes"; "sim.restarts"; "sim.downtime";
+    "ckpt.count"; "ckpt.bytes"; "recovery.count"; "recovery.cycles";
+    "recovery.invalidated"; "recovery.rehomes";
   ]
 
 let pp ppf t =

@@ -53,4 +53,26 @@ val dups_suppressed : t -> int  (** [net.reliable.dups] *)
 (** One-line rendering of the counters above. *)
 val fault_summary : t -> string
 
+(** {2 Crash-injection / recovery counters (DESIGN.md §13)}
+
+    All zero on crash-free runs. *)
+
+val crashes : t -> int  (** [sim.crashes]: nodes killed *)
+
+val restarts : t -> int  (** [sim.restarts]: nodes brought back *)
+
+val downtime : t -> int  (** [sim.downtime]: summed outage cycles *)
+
+val ckpt_count : t -> int  (** [ckpt.count]: per-node checkpoint sweeps *)
+
+val ckpt_bytes : t -> int  (** [ckpt.bytes]: checkpoint image bytes written *)
+
+val recovery_cycles : t -> int  (** [recovery.cycles]: rejoin CPU cycles *)
+
+(** [recovery_time t] is [recovery_cycles] in simulated seconds. *)
+val recovery_time : t -> float
+
+(** One-line rendering of the crash counters. *)
+val crash_summary : t -> string
+
 val pp : Format.formatter -> t -> unit

@@ -48,6 +48,11 @@ type ctx = {
       (* app-provided eager-release locks; engines without the concept
          ignore them *)
   hw_profile : hw_profile option;  (* None on software-DSM machines *)
+  lifecycle : Shm_sim.Lifecycle.t option;
+      (* whole-node crash/restart policy instance; Sdsm engines that
+         support recovery attach it to their fabric and register
+         checkpoint/re-home/rejoin hooks, engines that cannot recover
+         must refuse to mount, Hw platforms always pass None *)
 }
 
 (* ------------------------------------------------------------------ *)

@@ -12,6 +12,14 @@ let describe =
    broadcasts"
 
 let mount (ctx : Shm_proto.ctx) =
+  (* Tardis keeps leased read copies whose expiry is entangled with the
+     global timestamp order; a crash/restart model for it needs lease
+     recovery that is not implemented.  Refuse loudly rather than run an
+     unrecoverable protocol under crash injection. *)
+  if ctx.lifecycle <> None then
+    invalid_arg
+      "tardis: whole-node crash injection is not supported (no lease \
+       recovery); use lrc, eager-lrc, erc or ivy";
   let fabric = Fabric.create ctx.eng ctx.counters ctx.fabric ~nodes:ctx.nodes in
   let sys =
     System.create ctx.eng ctx.counters fabric ~page_words:ctx.page_words

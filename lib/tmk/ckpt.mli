@@ -1,0 +1,16 @@
+(** Failure-atomic checkpoint deltas: run-length sub-page dirty capture
+    (DESIGN.md §13).  Reuses the {!Diff} run-length encoding to bring a
+    checkpoint image up to the live copy at word granularity. *)
+
+(** [page_delta ~src ~src_base ~image ~image_base ~words] copies every
+    changed run of the page at [src_base] into the image and returns the
+    checkpoint cost in bytes: [0] for a clean page, else [16] (page
+    descriptor) plus [4 + 8*len] per changed run — the {!Diff.bytes}
+    layout.  Postcondition: the image range equals the source range. *)
+val page_delta :
+  src:Shm_memsys.Memory.t ->
+  src_base:int ->
+  image:Shm_memsys.Memory.t ->
+  image_base:int ->
+  words:int ->
+  int

@@ -10,6 +10,9 @@ module Fabric = Shm_net.Fabric
 
 let mount_policy ~policy ~i_name (ctx : Shm_proto.ctx) =
   let fabric = Fabric.create ctx.eng ctx.counters ctx.fabric ~nodes:ctx.nodes in
+  (* Attach before the system creates its Reliable channel, so the
+     channel arms sequencing/retransmission and sees node liveness. *)
+  Option.iter (Fabric.attach_lifecycle fabric) ctx.lifecycle;
   let cfg =
     {
       (Config.default ~n_nodes:ctx.nodes ~shared_words:ctx.shared_words) with
@@ -18,7 +21,10 @@ let mount_policy ~policy ~i_name (ctx : Shm_proto.ctx) =
       eager_locks = ctx.eager_lock_hints;
     }
   in
-  let sys = System.create ctx.eng ctx.counters fabric cfg ~memories:ctx.memories in
+  let sys =
+    System.create ?lifecycle:ctx.lifecycle ctx.eng ctx.counters fabric cfg
+      ~memories:ctx.memories
+  in
   {
     Shm_proto.i_name;
     page_shift = System.page_shift sys;

@@ -7,6 +7,7 @@ module Msg = Shm_net.Msg
 module Overhead = Shm_net.Overhead
 module Memory = Shm_memsys.Memory
 module Counters = Shm_stats.Counters
+module Lifecycle = Shm_sim.Lifecycle
 
 type page_state = {
   mutable valid : bool;
@@ -23,6 +24,14 @@ type lock_state = {
   (* Manager-side distributed-queue tail; meaningful only at the lock's
      manager node. *)
   mutable tail : int;
+}
+
+type recov = {
+  image : Memory.t;
+      (** failure-atomic checkpoint image of the node's shared region *)
+  snap : Vc.t array;  (** per-page applied vector at the last checkpoint *)
+  mutable ckpt_seq : int;  (** own interval count at the last checkpoint *)
+  ckpt_dirty : Bytes.t;  (** pages touched since the last checkpoint *)
 }
 
 type node = {
@@ -45,9 +54,15 @@ type node = {
   mutable sent_to_manager : int;  (** own seq already pushed to barrier mgr *)
   inflight : (int, Waitq.t) Hashtbl.t;  (** page -> fibers awaiting its fetch *)
   steal : int ref;  (** handler CPU cycles to charge the application *)
+  mutable recov : recov option;  (** checkpoint state; [None] = crash-free *)
 }
 
-type barrier_state = { mutable arrivals : (int * int * Vc.t) list }
+type barrier_state = {
+  mutable arrivals : (int * int * Vc.t) list;
+  mutable stash : Record.t list;
+      (** arrival records of the open episode; copied to a successor's
+          store when the barrier manager is re-homed after a crash *)
+}
 
 type t = {
   eng : Engine.t;
@@ -58,6 +73,11 @@ type t = {
   barriers : barrier_state array;
   page_shift : int;  (** log2 page_words, or -1 if not a power of two *)
   mutable page_hook : node:int -> page:int -> unit;
+  lock_home : int array;
+      (** current manager of each lock; starts at [Config.manager_of] and
+          moves to a surviving node when the manager crashes *)
+  mutable barrier_home : int;  (** current barrier manager, likewise *)
+  lifecycle : Lifecycle.t option;
 }
 
 let config t = t.cfg
@@ -85,7 +105,14 @@ let update_rights t nd page =
 
 let overhead t = (Fabric.config (Reliable.fabric t.net)).Fabric.overhead
 
-let create eng counters fabric cfg ~memories =
+(* Record that a page's contents diverged from the checkpoint image.
+   Free when checkpointing is off ([recov = None], the crash-free case). *)
+let mark_ckpt_dirty nd page =
+  match nd.recov with
+  | None -> ()
+  | Some rv -> Bytes.unsafe_set rv.ckpt_dirty page '\001'
+
+let create ?lifecycle eng counters fabric cfg ~memories =
   Config.validate cfg;
   if Array.length memories <> cfg.n_nodes then
     invalid_arg "Tmk.System.create: one memory per node required";
@@ -122,6 +149,7 @@ let create eng counters fabric cfg ~memories =
       sent_to_manager = 0;
       inflight = Hashtbl.create 8;
       steal = ref 0;
+      recov = None;
     }
   in
   let pw = cfg.page_words in
@@ -131,16 +159,56 @@ let create eng counters fabric cfg ~memories =
       go 0 pw
     else -1
   in
-  {
-    eng;
-    counters;
-    net = Reliable.create eng counters fabric;
-    cfg;
-    nodes = Array.init n mk_node;
-    barriers = Array.init cfg.n_barriers (fun _ -> { arrivals = [] });
-    page_shift;
-    page_hook = (fun ~node:_ ~page:_ -> ());
-  }
+  let t =
+    {
+      eng;
+      counters;
+      net = Reliable.create eng counters fabric;
+      cfg;
+      nodes = Array.init n mk_node;
+      barriers =
+        Array.init cfg.n_barriers (fun _ -> { arrivals = []; stash = [] });
+      page_shift;
+      page_hook = (fun ~node:_ ~page:_ -> ());
+      lock_home = Array.init cfg.n_locks (Config.manager_of cfg);
+      barrier_home = cfg.barrier_manager;
+      lifecycle;
+    }
+  in
+  (match lifecycle with
+  | None -> ()
+  | Some _ ->
+      (* Crash detection and transient loss share the reliable channel:
+         a packet to a down peer reports the suspected death once
+         ([net.reliable.peer_down]) and then parks its timer at the
+         peer's restart instead of aborting, with the backoff exponent
+         capped so delivery resumes promptly. *)
+      Reliable.set_policy t.net
+        {
+          Reliable.default_policy with
+          Reliable.backoff_cap = 6;
+          on_peer_down = Some (fun ~src:_ ~dst:_ ~attempts:_ -> ());
+        };
+      (* Arm failure-atomic checkpointing: one image per node, seeded
+         from the initial memory, plus per-page applied-vector snapshots
+         so a rejoin knows which foreign intervals to distrust. *)
+      let words = Config.n_pages cfg * cfg.page_words in
+      Array.iter
+        (fun nd ->
+          let image = Memory.create ~words in
+          Memory.blit ~src:nd.mem ~src_pos:0 ~dst:image ~dst_pos:0 ~len:words;
+          nd.recov <-
+            Some
+              {
+                image;
+                snap =
+                  Array.init (Config.n_pages cfg) (fun _ ->
+                      Vc.create ~nodes:n);
+                ckpt_seq = 0;
+                ckpt_dirty = Bytes.make (Config.n_pages cfg) '\000';
+              })
+        t.nodes);
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Small helpers                                                       *)
@@ -315,6 +383,7 @@ let apply_eager_update t nd (record : Record.t) diffs =
             (fun (c, s) -> not (c = record.creator && s = record.seqno))
             st.pending;
         t.page_hook ~node:nd.id ~page:p;
+        mark_ckpt_dirty nd p;
         Counters.incr t.counters "tmk.eager_applies")
       diffs
   end
@@ -355,7 +424,8 @@ let apply_diffs t fiber nd ~page items =
       if r.seqno > st.applied.(r.creator) then
         st.applied.(r.creator) <- r.seqno;
       Counters.incr t.counters "tmk.diffs_applied")
-    items
+    items;
+  if items <> [] then mark_ckpt_dirty nd page
 
 let fault t fiber nd page =
   Engine.sync fiber;
@@ -492,6 +562,7 @@ let ensure_twin t fiber nd page (st : page_state) =
         st.twin <- Some twin;
         update_rights t nd page;
         nd.dirty <- page :: nd.dirty;
+        mark_ckpt_dirty nd page;
         Counters.incr t.counters "tmk.twins"
       end
 
@@ -629,7 +700,7 @@ let acquire t fiber ~node ~lock =
     let req = fresh_req nd in
     let mb = register_req t nd req in
     let vc = Vc.copy nd.vc in
-    let manager = Config.manager_of t.cfg lock in
+    let manager = t.lock_home.(lock) in
     let body = Proto.Lock_req { lock; requester = nd.id; req; vc } in
     if manager = nd.id then
       (* Even a local request goes through the handler fiber: the manager's
@@ -726,6 +797,7 @@ let send_departs t fiber mgr ~id =
      sending the remaining departures. *)
   let arrivals = b.arrivals in
   b.arrivals <- [];
+  b.stash <- [];
   (* The episode's time is the join of the arrival snapshots.  The
      manager's own vector time is NOT merged at arrival: an arriver's
      clock can cover third-party intervals whose records only arrive with
@@ -755,6 +827,7 @@ let note_arrival t fiber mgr ~id ~node ~req ~arr_vc ~records =
      manager's own departure re-delivers the complete merged set and the
      invalidations happen there. *)
   List.iter (fun r -> ignore (Record.Store.add mgr.store r)) records;
+  b.stash <- records @ b.stash;
   b.arrivals <- (node, req, arr_vc) :: b.arrivals;
   if List.length b.arrivals = t.cfg.n_nodes then send_departs t fiber mgr ~id
 
@@ -771,7 +844,7 @@ let barrier_arrive t fiber ~node ~id =
   nd.sent_to_manager <- nd.seq;
   let req = fresh_req nd in
   let mb = register_req t nd req in
-  let mgr_id = t.cfg.barrier_manager in
+  let mgr_id = t.barrier_home in
   let arr_vc = Vc.copy nd.vc in
   if mgr_id = nd.id then
     note_arrival t fiber t.nodes.(mgr_id) ~id ~node:nd.id ~req ~arr_vc
@@ -789,6 +862,148 @@ let barrier_arrive t fiber ~node ~id =
       Vc.max_into ~into:nd.vc vc
   | _ -> failwith "barrier: unexpected response");
   finish_req nd req
+
+(* ------------------------------------------------------------------ *)
+(* Failure-atomic checkpoints and crash recovery (DESIGN.md §13)       *)
+
+(* Bring the node's checkpoint image up to the live copy, touching only
+   the pages that diverged since the previous checkpoint and, within a
+   page, only the changed runs (the diff run-length encoding reused for
+   persistence).  Runs from an [Engine.schedule] callback, so the scan
+   cost is charged through [steal]. *)
+let checkpoint t nd =
+  match nd.recov with
+  | None -> ()
+  | Some rv ->
+      let ov = overhead t in
+      let pw = t.cfg.page_words in
+      let bytes = ref 0 in
+      Array.iteri
+        (fun p st ->
+          if Bytes.get rv.ckpt_dirty p <> '\000' then begin
+            bytes :=
+              !bytes
+              + Ckpt.page_delta ~src:nd.mem ~src_base:(p * pw) ~image:rv.image
+                  ~image_base:(p * pw) ~words:pw;
+            Array.blit st.applied 0 rv.snap.(p) 0 t.cfg.n_nodes;
+            (* An open twin means the application can keep writing the
+               page without another protocol event: keep it dirty. *)
+            if st.twin = None then Bytes.set rv.ckpt_dirty p '\000'
+          end)
+        nd.pages;
+      rv.ckpt_seq <- nd.seq;
+      (* Charge for the data the sweep persists, not for the pages it
+         probes: dirty-run discovery rides the twin/diff machinery the
+         protocol already pays for, so a twinned-but-idle page costs
+         nothing beyond the sweep's fixed handler slice.  Charging a
+         full per-word scan of every dirty-marked page compounds — a
+         large working set keeps every twinned page perpetually dirty,
+         the per-sweep scan outruns the checkpoint interval, and the
+         run quasi-livelocks. *)
+      nd.steal :=
+        !(nd.steal) + ov.handler + (ov.diff_per_word * ((!bytes + 7) / 8));
+      Counters.incr t.counters "ckpt.count";
+      Counters.add t.counters "ckpt.bytes" !bytes
+
+(* Online rejoin of a restarted node.  The volatile image survives the
+   outage (the failure-atomic heap model), so nothing is rolled back;
+   instead the node (1) replays its own diff log — the WAL — since the
+   last checkpoint onto the image, and (2) conservatively distrusts
+   every foreign interval applied after the checkpoint: the page's
+   applied vector rolls back to the snapshot, the write notices requeue
+   and the page invalidates, so the next access re-fetches the diffs
+   from their creators (served from the never-pruned per-node logs;
+   re-application is idempotent, so contents are unchanged). *)
+let rejoin t nd =
+  match nd.recov with
+  | None -> ()
+  | Some rv ->
+      let pw = t.cfg.page_words in
+      let replay_words = ref 0 in
+      Hashtbl.iter
+        (fun (p, seqno) (d : Diff.t) ->
+          if seqno > rv.ckpt_seq then begin
+            Diff.apply d rv.image ~base:(p * pw);
+            replay_words := !replay_words + Diff.words d
+          end)
+        nd.own_diffs;
+      Array.iteri
+        (fun p st ->
+          if st.valid && st.twin = None && not (Hashtbl.mem nd.inflight p)
+          then begin
+            let snap = rv.snap.(p) in
+            let stale = ref [] in
+            for c = 0 to t.cfg.n_nodes - 1 do
+              if c <> nd.id && st.applied.(c) > snap.(c) then begin
+                List.iter
+                  (fun (r : Record.t) ->
+                    if List.mem p r.pages then stale := (c, r.seqno) :: !stale)
+                  (Record.Store.range nd.store ~creator:c ~lo:snap.(c)
+                     ~hi:st.applied.(c));
+                st.applied.(c) <- snap.(c)
+              end
+            done;
+            if !stale <> [] then begin
+              List.iter
+                (fun e ->
+                  if not (List.mem e st.pending) then
+                    st.pending <- e :: st.pending)
+                !stale;
+              st.valid <- false;
+              update_rights t nd p;
+              t.page_hook ~node:nd.id ~page:p;
+              Counters.incr t.counters "recovery.invalidated"
+            end
+          end)
+        nd.pages;
+      let cycles =
+        (overhead t).handler + Config.n_pages t.cfg
+        + (t.cfg.apply_per_word * !replay_words)
+      in
+      nd.steal := !(nd.steal) + cycles;
+      Counters.incr t.counters "recovery.count";
+      Counters.add t.counters "recovery.cycles" cycles;
+      Counters.add t.counters "recovery.replay_bytes" (8 * !replay_words)
+
+(* Re-home manager state owned by a crashed node onto the next surviving
+   node: lock queue tails (the replicated directory) and the barrier
+   manager role with its stashed arrival records.  Requests already in
+   flight — or parked in a peer's retransmit queue — still name the dead
+   node; its handler forwards them to the new home after restart. *)
+let rehome t lc ~dead =
+  let n = t.cfg.n_nodes in
+  let successor =
+    let rec go k =
+      if k >= n then None
+      else
+        let c = (dead + k) mod n in
+        if Lifecycle.alive lc c then Some c else go (k + 1)
+    in
+    go 1
+  in
+  match successor with
+  | None -> ()
+  | Some s ->
+      let moved = ref 0 in
+      Array.iteri
+        (fun l home ->
+          if home = dead then begin
+            t.lock_home.(l) <- s;
+            t.nodes.(s).locks.(l).tail <- t.nodes.(dead).locks.(l).tail;
+            incr moved
+          end)
+        t.lock_home;
+      if t.barrier_home = dead then begin
+        t.barrier_home <- s;
+        Array.iter
+          (fun b ->
+            List.iter
+              (fun r -> ignore (Record.Store.add t.nodes.(s).store r))
+              b.stash)
+          t.barriers;
+        incr moved
+      end;
+      if !moved > 0 then Counters.add t.counters "recovery.rehomes" !moved
 
 (* ------------------------------------------------------------------ *)
 (* Message handler daemon                                              *)
@@ -820,9 +1035,16 @@ let handle t fiber nd (env : Proto.t Msg.envelope) =
     nd.steal := !(nd.steal) + serve_cost t ~in_size ~out_size:zero_size ~replied:false
   in
   match env.body with
-  | Proto.Lock_req { lock; requester; req; vc } ->
+  | Proto.Lock_req { lock; requester; req; vc } as body ->
       Engine.advance fiber (overhead t).handler;
-      handle_lock_req t fiber nd ~lock ~requester ~req ~req_vc:vc;
+      if t.lock_home.(lock) <> nd.id then begin
+        (* Stale destination: we managed this lock before a crash
+           re-homed it (the request outlived the outage in a peer's
+           retransmit queue).  Forward to the current home. *)
+        Counters.incr t.counters "recovery.forwards";
+        send t fiber ~src:nd.id ~dst:t.lock_home.(lock) body
+      end
+      else handle_lock_req t fiber nd ~lock ~requester ~req ~req_vc:vc;
       steal_simple ()
   | Proto.Lock_forward { lock; requester; req; vc } ->
       Engine.advance fiber (overhead t).handler;
@@ -831,9 +1053,13 @@ let handle t fiber nd (env : Proto.t Msg.envelope) =
   | Proto.Diff_req { page; requester; req; lo; hi } ->
       Engine.advance fiber (overhead t).handler;
       serve_diff_req t fiber nd ~page ~requester ~req ~lo ~hi ~in_size
-  | Proto.Barrier_arrive { barrier; node; req; vc; records } ->
+  | Proto.Barrier_arrive { barrier; node; req; vc; records } as body ->
       Engine.advance fiber (overhead t).handler;
-      note_arrival t fiber nd ~id:barrier ~node ~req ~arr_vc:vc ~records;
+      if t.barrier_home <> nd.id then begin
+        Counters.incr t.counters "recovery.forwards";
+        send t fiber ~src:nd.id ~dst:t.barrier_home body
+      end
+      else note_arrival t fiber nd ~id:barrier ~node ~req ~arr_vc:vc ~records;
       steal_simple ()
   | Proto.Eager_update { record; diffs } ->
       Engine.advance fiber (overhead t).handler;
@@ -864,6 +1090,15 @@ let handler_loop t nd fiber =
 
 let start t =
   Reliable.start t.net;
+  (match t.lifecycle with
+  | None -> ()
+  | Some lc ->
+      Lifecycle.on_ckpt lc (fun ~at:_ ->
+          Array.iter
+            (fun nd -> if Lifecycle.alive lc nd.id then checkpoint t nd)
+            t.nodes);
+      Lifecycle.on_detect lc (fun ~node ~at:_ -> rehome t lc ~dead:node);
+      Lifecycle.on_restart lc (fun ~node ~at:_ -> rejoin t t.nodes.(node)));
   Array.iter
     (fun nd ->
       ignore

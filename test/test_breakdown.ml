@@ -298,6 +298,18 @@ let test_counter_name_audit () =
   in
   let p = Machines.get ~faults "treadmarks" in
   note (p.Platform.run (Registry.app ~scale:Registry.Quick "sor") ~nprocs:4);
+  (* Crash runs exercise the checkpoint/recovery names on both SDSM
+     families (TSP invalidates and re-homes on both). *)
+  let crash =
+    { Shm_sim.Lifecycle.none with
+      Shm_sim.Lifecycle.crashes = [ (1, 500_000) ];
+      ckpt_interval = 250_000 }
+  in
+  List.iter
+    (fun plat ->
+      let p = Machines.get ~crash plat in
+      note (p.Platform.run (Registry.app ~scale:Registry.Quick "tsp") ~nprocs:4))
+    [ "treadmarks"; "ivy" ];
   List.iter
     (fun name ->
       Alcotest.(check bool)

@@ -21,4 +21,5 @@ let () =
       ("platform", Test_platform.suite);
       ("runner", Test_runner.suite);
       ("breakdown", Test_breakdown.suite);
+      ("crash", Test_crash.suite);
     ]
