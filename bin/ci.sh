@@ -61,7 +61,7 @@ smoke_json=$(mktemp)
 smoke1_json=$(mktemp)
 clean_json=$(mktemp)
 chaos_json=$(mktemp)
-trap 'rm -f "$smoke_json" "$smoke1_json" "$clean_json" "$chaos_json" ${crash_json:+"$crash_json"} ${trace_json:+"$trace_json"} ${traced_run_json:+"$traced_run_json"}' EXIT
+trap 'rm -f "$smoke_json" "$smoke1_json" "$clean_json" "$chaos_json" ${crash_json:+"$crash_json"} ${kv_json:+"$kv_json"} ${kv_ref_json:+"$kv_ref_json"} ${trace_json:+"$trace_json"} ${traced_run_json:+"$traced_run_json"}' EXIT
 dune exec bench/main.exe -- --scale quick --only f3 --jobs 2 \
   --json "$smoke_json" >/dev/null
 dune exec bench/main.exe -- --scale quick --only f3 --jobs 1 \
@@ -71,14 +71,16 @@ import json, sys
 
 d2 = json.load(open(sys.argv[1]))
 d1 = json.load(open(sys.argv[2]))
-assert d2["schema"] == "bench_access/5", d2["schema"]
+assert d2["schema"] == "bench_access/6", d2["schema"]
 assert d2["jobs"] == 2 and d1["jobs"] == 1, (d2["jobs"], d1["jobs"])
 assert len(d2["runs"]) >= 1
 assert d2["host_cores"] >= 1 and d2["pool_speedup"] > 0
-# /5 crash-recovery fields are present and zero on this crash-free run.
+# /5 crash-recovery fields are present and zero on this crash-free run;
+# /6 serving-workload fields are present and zero on this non-KV run.
 for r in d2["runs"]:
     assert r["crash"] is False and r["crashes"] == 0, r
     assert r["recovery_time"] == 0.0 and r["ckpt_bytes"] == 0, r
+    assert r["kv_ops"] == 0 and r["kv_model_ok"] == 0, r
 
 # Simulation results are deterministic: everything but host-side timing
 # must be identical between --jobs 1 and --jobs 2.
@@ -160,6 +162,55 @@ for plat in treadmarks ivy; do
   done
 done
 rm -f "$crash_json"
+
+# KV serving smoke (DESIGN.md §14): the sharded store under the
+# open-loop generator must pass its built-in differential check
+# ("kv_model_ok": 1 — every recorded get replayed against a sequential
+# hash-table model) on both a software DSM and the bus machine.  The
+# put-partitioned trace makes the content digest platform-independent,
+# so the chaos (5% drop) and crash/restart variants must land on the
+# treadmarks run's exact checksum while showing real fault activity.
+kv_json=$(mktemp)
+kv_ref_json=$(mktemp)
+kv_args="run -a kv -n 4 --scale quick --requests 150 --keys 256"
+dune exec bin/shmsim.exe -- $kv_args -p treadmarks \
+  --json "$kv_ref_json" >/dev/null
+kv_ref_sum=$(grep -o '"checksum": "[^"]*"' "$kv_ref_json")
+for variant in "-p sgi" "-p treadmarks --drop 0.05 --fault-seed 1" \
+               "-p treadmarks --crash 1@500000"; do
+  dune exec bin/shmsim.exe -- $kv_args $variant --json "$kv_json" >/dev/null
+  model_ok=$(grep -o '"kv_model_ok": [0-9]*' "$kv_json" | grep -o '[0-9]*$')
+  kv_sum=$(grep -o '"checksum": "[^"]*"' "$kv_json")
+  if [ "${model_ok:-0}" -ne 1 ]; then
+    echo "ci: kv differential check failed for '$variant'" >&2
+    exit 1
+  fi
+  if [ -z "$kv_ref_sum" ] || [ "$kv_sum" != "$kv_ref_sum" ]; then
+    echo "ci: kv digest diverged for '$variant'" >&2
+    echo "ci:   reference: $kv_ref_sum" >&2
+    echo "ci:   variant:   $kv_sum" >&2
+    exit 1
+  fi
+  case "$variant" in
+  *--drop*)
+    retrans=$(grep -o '"retrans": [0-9]*' "$kv_json" | grep -o '[0-9]*$')
+    if [ "${retrans:-0}" -eq 0 ]; then
+      echo "ci: kv chaos run never retransmitted" >&2
+      exit 1
+    fi
+    ;;
+  *--crash*)
+    crashes=$(grep -o '"crashes": [0-9]*' "$kv_json" | grep -o '[0-9]*$')
+    restarts=$(grep -o '"restarts": [0-9]*' "$kv_json" | grep -o '[0-9]*$')
+    if [ "${crashes:-0}" -eq 0 ] || [ "${restarts:-0}" -eq 0 ]; then
+      echo "ci: kv crash run missing recovery activity" \
+        "(crashes=${crashes:-0} restarts=${restarts:-0})" >&2
+      exit 1
+    fi
+    ;;
+  esac
+done
+rm -f "$kv_json" "$kv_ref_json"
 
 # Tracing smoke: a traced SOR run must produce a valid Chrome-trace file
 # (known event kinds, monotonic timestamps — `shmsim trace-check` is the

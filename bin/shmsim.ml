@@ -229,6 +229,43 @@ let crash_banner crash =
       crash.Lifecycle.crash_rate crash.Lifecycle.outage_cycles
       crash.Lifecycle.ckpt_interval
 
+(* Serving-workload (kv) knobs.  These forward to the registry as app
+   parameter overrides, so they are validated against the app's declared
+   keys — passing them to an app that has no such knob is a friendly
+   error, not a silent no-op. *)
+
+let keys_arg =
+  Arg.(
+    value & opt (some (nonneg_conv ~what:"--keys")) None
+    & info [ "keys" ] ~docv:"N" ~doc:"KV store: key-space size.")
+
+let zipf_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "zipf" ] ~docv:"THETA"
+        ~doc:"KV store: Zipf popularity skew (0 = uniform).")
+
+let get_ratio_arg =
+  Arg.(
+    value & opt (some (rate_conv ~what:"--get-ratio")) None
+    & info [ "get-ratio" ] ~docv:"RATE"
+        ~doc:"KV store: fraction of requests that are gets, in [0, 1].")
+
+let requests_arg =
+  Arg.(
+    value & opt (some (nonneg_conv ~what:"--requests")) None
+    & info [ "requests" ] ~docv:"N"
+        ~doc:"KV store: requests issued per node (open loop).")
+
+let app_params ~keys ~zipf ~get_ratio ~requests =
+  List.filter_map Fun.id
+    [
+      Option.map (fun v -> ("keys", string_of_int v)) keys;
+      Option.map (fun v -> ("zipf", Printf.sprintf "%g" v)) zipf;
+      Option.map (fun v -> ("get-ratio", Printf.sprintf "%g" v)) get_ratio;
+      Option.map (fun v -> ("requests", string_of_int v)) requests;
+    ]
+
 let max_cycles_arg =
   Arg.(
     value & opt (some (nonneg_conv ~what:"--max-cycles")) None
@@ -294,7 +331,7 @@ let write_run_json path ~app ~platform ~scale ~faults ~crash rows =
   in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"schema\": \"shmsim_run/2\", \"app\": \"%s\", \"platform\": \
+       "{\"schema\": \"shmsim_run/3\", \"app\": \"%s\", \"platform\": \
         \"%s\", \"scale\": \"%s\", \"faults\": %s, \"crash\": %s, \"runs\": ["
        app platform scale fault_fields crash_fields);
   List.iteri
@@ -307,7 +344,9 @@ let write_run_json path ~app ~platform ~scale ~faults ~crash rows =
             \"delivered\": %d, \"dropped\": %d, \"duplicated\": %d, \
             \"retrans\": %d, \"dups_suppressed\": %d, \"crashes\": %d, \
             \"restarts\": %d, \"ckpts\": %d, \"ckpt_bytes\": %d, \
-            \"recovery_cycles\": %d, \"recovery_seconds\": %.9g}"
+            \"recovery_cycles\": %d, \"recovery_seconds\": %.9g, \
+            \"kv_ops\": %d, \"kv_p50\": %d, \"kv_p99\": %d, \"kv_p999\": %d, \
+            \"kv_model_ok\": %d}"
            n r.Report.cycles (Report.seconds r) r.Report.checksum
            (Report.get r "net.msgs.total")
            (Report.get r "net.bytes.total" / 1024)
@@ -318,7 +357,12 @@ let write_run_json path ~app ~platform ~scale ~faults ~crash rows =
            (Report.crashes r) (Report.restarts r) (Report.ckpt_count r)
            (Report.ckpt_bytes r)
            (Report.recovery_cycles r)
-           (Report.recovery_time r)))
+           (Report.recovery_time r)
+           (Report.get r "kv.ops")
+           (Report.get r "kv.lat_p50")
+           (Report.get r "kv.lat_p99")
+           (Report.get r "kv.lat_p999")
+           (Report.get r "kv.model_ok")))
     rows;
   Buffer.add_string buf "]}\n";
   let oc = open_out path in
@@ -335,9 +379,21 @@ let with_pool jobs f =
 
 let run_cmd =
   let run app_name platform_name protocol procs scale stats jobs drop dup
-      jitter seed crashes crash_rate outage ckpt_interval max_cycles json
-      trace_path =
-    let app = Registry.app ~scale app_name in
+      jitter seed crashes crash_rate outage ckpt_interval keys zipf get_ratio
+      requests max_cycles json trace_path =
+    let params = app_params ~keys ~zipf ~get_ratio ~requests in
+    (* Each worker builds its own app instance: apps carry per-run
+       observation state (the kv store's request log and latency
+       histograms), so concurrent runs must not share one (DESIGN.md §8).
+       Build one up front anyway, for its display name and to surface
+       parameter errors before any simulation starts. *)
+    let make_app () = Registry.app ~scale ~params app_name in
+    let app =
+      try make_app ()
+      with Invalid_argument msg ->
+        Printf.eprintf "shmsim: %s\n" msg;
+        exit 2
+    in
     let faults = faults_of ~drop ~dup ~jitter ~seed in
     let crash =
       crash_of ~crashes ~rate:crash_rate ~outage ~seed ~ckpt_interval
@@ -391,7 +447,9 @@ let run_cmd =
         let futures =
           List.map
             (fun n ->
-              (n, Pool.submit pool (fun () -> platform.Platform.run app ~nprocs:n)))
+              ( n,
+                Pool.submit pool (fun () ->
+                    platform.Platform.run (make_app ()) ~nprocs:n) ))
             procs
         in
         let base = ref None in
@@ -434,6 +492,40 @@ let run_cmd =
        Printf.eprintf "shmsim: %s\n" msg;
        exit 2);
     Table.print table;
+    let kv_rows =
+      List.filter (fun (_, r) -> Report.get r "kv.ops" > 0) (List.rev !results)
+    in
+    if kv_rows <> [] then begin
+      let us cycles =
+        Table.cell_f ~digits:1
+          (float_of_int cycles /. platform.Platform.clock_mhz)
+      in
+      let t =
+        Table.create ~title:"kv latency (open-loop, from scheduled issue)"
+          ~columns:
+            [
+              "procs"; "ops"; "kops/s"; "p50_us"; "p99_us"; "p999_us";
+              "max_us"; "moves";
+            ]
+      in
+      List.iter
+        (fun (n, r) ->
+          Table.add_row t
+            [
+              string_of_int n;
+              string_of_int (Report.get r "kv.ops");
+              Table.cell_f ~digits:1
+                (float_of_int (Report.get r "kv.ops")
+                /. Report.seconds r /. 1e3);
+              us (Report.get r "kv.lat_p50");
+              us (Report.get r "kv.lat_p99");
+              us (Report.get r "kv.lat_p999");
+              us (Report.get r "kv.lat_max");
+              string_of_int (Report.get r "kv.moves");
+            ])
+        kv_rows;
+      Table.print t
+    end;
     if Lifecycle.active crash then
       List.iter
         (fun (n, r) ->
@@ -456,8 +548,9 @@ let run_cmd =
     Term.(
       const run $ app_arg $ platform_arg $ protocol_arg $ procs_arg $ scale_arg
       $ stats_arg $ jobs_arg $ drop_arg $ dup_arg $ jitter_arg $ fault_seed_arg
-      $ crash_arg $ crash_rate_arg $ outage_arg $ ckpt_interval_arg
-      $ max_cycles_arg $ json_arg $ trace_arg)
+      $ crash_arg $ crash_rate_arg $ outage_arg $ ckpt_interval_arg $ keys_arg
+      $ zipf_arg $ get_ratio_arg $ requests_arg $ max_cycles_arg $ json_arg
+      $ trace_arg)
 
 let list_cmd =
   let list () =

@@ -137,4 +137,5 @@ let make p =
     init = init lay;
     work = work p sh lay costs;
     checksum_addr = lay.checksum;
+    stats = Parmacs.no_stats;
   }

@@ -1,0 +1,52 @@
+(** Sharded key-value store on shared pages: the serving workload.
+
+    The table is [shards] open-addressing regions, each page-aligned
+    with an owner word (migratory bucket ownership — re-homing a shard
+    is a locked write that pulls its pages across the memory system)
+    followed by two-word slots.  Lock [s] protects shard [s].  Every
+    node replays a deterministic open-loop {!Loadgen} trace and records
+    per-request latency (complete − scheduled issue) into an
+    allocation-free histogram.
+
+    Because puts are single-writer per key (see {!Loadgen}), the final
+    store contents and the content-based digest written as the run
+    checksum are identical across platforms, engines, fault schedules
+    and crash/restart runs.  Individual get results are
+    timing-dependent; node 0 validates them after the final barrier by
+    replaying the recorded linearization order through a plain
+    [Hashtbl] (the built-in differential check; [kv.model_ok] = 1 on
+    success, a run failure otherwise).  External harnesses can re-check
+    through {!val-results} / {!val-final}. *)
+
+type params = {
+  shards : int;  (** bucket groups, each with its own lock; in [1, 64] *)
+  service_cycles : int;  (** per-request parse/respond compute *)
+  load : Loadgen.params;
+}
+
+val default_params : params
+
+(** A completed request in the linearization record. *)
+type entry = {
+  op : Loadgen.op;
+  key : int;
+  value : int;  (** returned (get, 0 = miss) or stored (put) *)
+  lin : int;  (** clock read while holding the shard lock *)
+  node : int;
+  idx : int;  (** per-node request index *)
+}
+
+type t = {
+  app : Shm_parmacs.Parmacs.app;
+  params : params;
+  results : unit -> entry list;
+      (** all requests of the last run, in linearization order *)
+  latency : unit -> Shm_stats.Hist.t;  (** merged latency histogram *)
+  final : unit -> (int * int) list;
+      (** final store contents, sorted by key *)
+}
+
+(** One instance serves one run at a time (DESIGN.md §8): observation
+    state is reset by [app.init] and read back after [run] returns.
+    @raise Invalid_argument on out-of-range parameters. *)
+val make : params -> t

@@ -1,0 +1,97 @@
+module Prng = Shm_sim.Prng
+
+(* Deterministic open-loop request generator.  A trace is a pure
+   function of (params, node, nprocs): every platform, engine and fault
+   schedule replays exactly the same per-node request streams, which is
+   what makes the KV differential test and the cross-platform digest
+   equality possible.
+
+   Open-loop means requests are issued on a wall-clock schedule computed
+   up front — a slow server does not slow the arrival process down, it
+   just accumulates queueing delay into the measured latency (the
+   coordinated-omission-free methodology; see DESIGN.md §14). *)
+
+type op = Get | Put
+
+type params = {
+  seed : int;
+  keys : int;  (* key-space size *)
+  zipf : float;  (* popularity skew theta; 0.0 = uniform *)
+  get_ratio : float;  (* fraction of gets, in [0, 1] *)
+  requests : int;  (* requests per node *)
+  mean_gap : int;  (* steady-state inter-arrival time, cycles *)
+}
+
+type req = { op : op; key : int; issue : int }
+
+let validate p =
+  if p.keys <= 0 then invalid_arg "Loadgen: keys must be positive";
+  if p.requests < 0 then invalid_arg "Loadgen: requests must be non-negative";
+  if p.zipf < 0.0 then invalid_arg "Loadgen: zipf skew must be >= 0";
+  if not (p.get_ratio >= 0.0 && p.get_ratio <= 1.0) then
+    invalid_arg "Loadgen: get-ratio must be in [0, 1]";
+  if p.mean_gap <= 0 then invalid_arg "Loadgen: mean-gap must be positive"
+
+(* Cumulative Zipf weights over ranks 0..keys-1: weight(r) = 1/(r+1)^s.
+   Sampling is a binary search for the first rank whose cumulative
+   weight exceeds a uniform draw. *)
+let zipf_cumulative ~keys ~s =
+  let cum = Array.make keys 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to keys - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (r + 1)) s);
+    cum.(r) <- !total
+  done;
+  cum
+
+let sample_rank cum u =
+  let n = Array.length cum in
+  let target = u *. cum.(n - 1) in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) < target then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* The arrival schedule has three phases: a ramp over the first quarter
+   (inter-arrival gaps start at 3x the steady mean and tighten to 1x), a
+   burst over [50%, 60%) of the trace at a quarter of the mean gap, and
+   the steady mean elsewhere.  Each gap is drawn uniformly from
+   [1, 2*phase_gap] so arrivals are irregular but average the phase
+   rate. *)
+let phase_gap p i =
+  let quarter = max 1 (p.requests / 4) in
+  if i < quarter then
+    let mult = 3 - (2 * i / quarter) in
+    p.mean_gap * max 1 mult
+  else if i >= p.requests / 2 && i < p.requests * 6 / 10 then
+    max 1 (p.mean_gap / 4)
+  else p.mean_gap
+
+(* Puts from [node] target only keys congruent to [node] mod [nprocs]:
+   each key has a single writer, so the final store contents are a pure
+   function of the per-node traces — independent of platform timing,
+   faults and crashes.  Gets range over the whole key space. *)
+let own_key ~node ~nprocs ~keys rank =
+  let k = (rank / nprocs * nprocs) + node in
+  if k < keys then k else if node < keys then node else rank
+
+let trace p ~node ~nprocs =
+  validate p;
+  if nprocs <= 0 then invalid_arg "Loadgen: nprocs must be positive";
+  let rng =
+    Prng.create ~seed:((p.seed * 1_000_003) + (node * 7919) + nprocs)
+  in
+  let cum = zipf_cumulative ~keys:p.keys ~s:p.zipf in
+  let t = ref 0 in
+  Array.init p.requests (fun i ->
+      t := !t + 1 + Prng.int rng (2 * phase_gap p i);
+      let op = if Prng.float rng 1.0 < p.get_ratio then Get else Put in
+      let rank = sample_rank cum (Prng.float rng 1.0) in
+      let key =
+        match op with
+        | Get -> rank
+        | Put -> own_key ~node ~nprocs ~keys:p.keys rank
+      in
+      { op; key; issue = !t })

@@ -1,0 +1,38 @@
+(** Deterministic open-loop traffic generator for the serving workloads.
+
+    A trace is a pure function of [(params, node, nprocs)]: seeded Zipf
+    key popularity, a configurable get/put mix, and an arrival schedule
+    with ramp and burst phases.  Requests carry precomputed issue
+    cycles; the KV store charges idle time up to the issue cycle and
+    measures latency from it, so a backed-up server accumulates queueing
+    delay instead of silently slowing the offered load (open-loop, no
+    coordinated omission).
+
+    Puts from node [n] touch only keys congruent to [n] modulo
+    [nprocs] (single-writer keys), so the final store contents — and
+    hence the run checksum — are identical on every platform, under any
+    fault or crash schedule.  Gets range over the whole key space. *)
+
+type op = Get | Put
+
+type params = {
+  seed : int;
+  keys : int;  (** key-space size *)
+  zipf : float;  (** popularity skew theta; 0.0 = uniform *)
+  get_ratio : float;  (** fraction of gets, in [0, 1] *)
+  requests : int;  (** requests per node *)
+  mean_gap : int;  (** steady-state inter-arrival time, cycles *)
+}
+
+type req = {
+  op : op;
+  key : int;
+  issue : int;  (** scheduled issue cycle (monotone within a node) *)
+}
+
+(** @raise Invalid_argument on out-of-range parameters. *)
+val validate : params -> unit
+
+(** [trace p ~node ~nprocs] is node's request stream.
+    @raise Invalid_argument on out-of-range parameters. *)
+val trace : params -> node:int -> nprocs:int -> req array

@@ -15,8 +15,42 @@ let names =
   [
     "sor"; "sor-square"; "sor-touchall"; "tsp"; "tsp-small"; "water";
     "m-water"; "ilink-clp"; "ilink-bad"; "migratory"; "producer-consumer";
-    "false-sharing"; "read-mostly";
+    "false-sharing"; "read-mostly"; "kv";
   ]
+
+(* Per-app parameter overrides, given as string pairs from the CLI.
+   Every app declares its known keys; an unknown key is an error rather
+   than a silent no-op, since a typoed knob that quietly reverts to the
+   default is the worst possible failure mode for an experiment. *)
+
+let check_keys ~app known params =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k known) then
+        invalid_arg
+          (Printf.sprintf "app %S: unknown parameter %S (known: %s)" app k
+             (String.concat ", " known)))
+    params
+
+let pint params key default =
+  match List.assoc_opt key params with
+  | None -> default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> i
+      | None ->
+          invalid_arg
+            (Printf.sprintf "parameter %s=%S: expected an integer" key v))
+
+let pfloat params key default =
+  match List.assoc_opt key params with
+  | None -> default
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> f
+      | None ->
+          invalid_arg
+            (Printf.sprintf "parameter %s=%S: expected a number" key v))
 
 let sor_params ~scale ~square ~touch_all =
   let rows, cols, iters =
@@ -68,20 +102,90 @@ let pattern_params ~scale kind =
   | Default -> base
   | Paper -> { base with Patterns.rounds = base.Patterns.rounds * 4 }
 
-let app ~scale = function
-  | "sor" -> Sor.make (sor_params ~scale ~square:false ~touch_all:false)
-  | "sor-square" -> Sor.make (sor_params ~scale ~square:true ~touch_all:false)
-  | "sor-touchall" -> Sor.make (sor_params ~scale ~square:false ~touch_all:true)
-  | "tsp" -> Tsp.make (Tsp.params_n (tsp_cities ~scale ~small:false))
-  | "tsp-small" -> Tsp.make (Tsp.params_n (tsp_cities ~scale ~small:true))
-  | "water" -> Water.make (water_params ~scale Water.Locked)
-  | "m-water" -> Water.make (water_params ~scale Water.Batched)
-  | "ilink-clp" -> Ilink.make (ilink_params ~scale Ilink.Clp)
-  | "ilink-bad" -> Ilink.make (ilink_params ~scale Ilink.Bad)
-  | "migratory" -> Patterns.make (pattern_params ~scale Patterns.Migratory)
-  | "producer-consumer" ->
-      Patterns.make (pattern_params ~scale Patterns.Producer_consumer)
-  | "false-sharing" ->
-      Patterns.make (pattern_params ~scale Patterns.False_sharing)
-  | "read-mostly" -> Patterns.make (pattern_params ~scale Patterns.Read_mostly)
+let kv_params ~scale params =
+  check_keys ~app:"kv"
+    [ "keys"; "zipf"; "get-ratio"; "requests"; "shards"; "mean-gap";
+      "service"; "seed" ]
+    params;
+  let keys, requests, mean_gap =
+    match scale with
+    | Quick -> (256, 400, 2000)
+    | Default -> (4096, 5000, 1500)
+    | Paper -> (16384, 20000, 1500)
+  in
+  {
+    Kvstore.shards = pint params "shards" 16;
+    service_cycles = pint params "service" 400;
+    load =
+      {
+        Loadgen.seed = pint params "seed" 42;
+        keys = pint params "keys" keys;
+        zipf = pfloat params "zipf" 0.9;
+        get_ratio = pfloat params "get-ratio" 0.9;
+        requests = pint params "requests" requests;
+        mean_gap = pint params "mean-gap" mean_gap;
+      };
+  }
+
+let kv ~scale ?(params = []) () = Kvstore.make (kv_params ~scale params)
+
+let app ~scale ?(params = []) name =
+  let check known = check_keys ~app:name known params in
+  match name with
+  | ("sor" | "sor-square" | "sor-touchall") as n ->
+      check [ "rows"; "cols"; "iters" ];
+      let base =
+        sor_params ~scale ~square:(n = "sor-square")
+          ~touch_all:(n = "sor-touchall")
+      in
+      Sor.make
+        {
+          base with
+          Sor.rows = pint params "rows" base.Sor.rows;
+          cols = pint params "cols" base.Sor.cols;
+          iters = pint params "iters" base.Sor.iters;
+        }
+  | ("tsp" | "tsp-small") as n ->
+      check [ "cities" ];
+      let base = tsp_cities ~scale ~small:(n = "tsp-small") in
+      Tsp.make (Tsp.params_n (pint params "cities" base))
+  | ("water" | "m-water") as n ->
+      check [ "molecules"; "steps" ];
+      let mode = if n = "water" then Water.Locked else Water.Batched in
+      let base = water_params ~scale mode in
+      Water.make
+        {
+          base with
+          Water.molecules = pint params "molecules" base.Water.molecules;
+          steps = pint params "steps" base.Water.steps;
+        }
+  | ("ilink-clp" | "ilink-bad") as n ->
+      check [ "iters"; "scale" ];
+      let input = if n = "ilink-clp" then Ilink.Clp else Ilink.Bad in
+      let base = ilink_params ~scale input in
+      Ilink.make
+        {
+          base with
+          Ilink.iters = pint params "iters" base.Ilink.iters;
+          scale = pfloat params "scale" base.Ilink.scale;
+        }
+  | ("migratory" | "producer-consumer" | "false-sharing" | "read-mostly") as n
+    ->
+      check [ "rounds"; "words"; "compute" ];
+      let kind =
+        match n with
+        | "migratory" -> Patterns.Migratory
+        | "producer-consumer" -> Patterns.Producer_consumer
+        | "false-sharing" -> Patterns.False_sharing
+        | _ -> Patterns.Read_mostly
+      in
+      let base = pattern_params ~scale kind in
+      Patterns.make
+        {
+          base with
+          Patterns.rounds = pint params "rounds" base.Patterns.rounds;
+          words = pint params "words" base.Patterns.words;
+          compute = pint params "compute" base.Patterns.compute;
+        }
+  | "kv" -> (kv ~scale ~params ()).Kvstore.app
   | name -> invalid_arg (Printf.sprintf "unknown application %S" name)

@@ -129,6 +129,7 @@ let make p =
     init = init p lay;
     work = work p lay;
     checksum_addr = lay.checksum;
+    stats = Parmacs.no_stats;
   }
 
 let reference p =

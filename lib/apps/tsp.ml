@@ -206,6 +206,7 @@ let make p =
     init = init p lay;
     work = work p lay;
     checksum_addr = lay.checksum;
+    stats = Parmacs.no_stats;
   }
 
 let greedy_length p = float_of_int (greedy_tour_length (distances p))

@@ -197,4 +197,5 @@ let make p =
     init = init p lay;
     work = work p lay;
     checksum_addr = lay.checksum;
+    stats = Parmacs.no_stats;
   }

@@ -23,6 +23,7 @@ type ctx = {
   unlock : int -> unit;
   barrier : int -> unit;
   compute : int -> unit;
+  clock : unit -> int;
 }
 
 (* Scalar float traffic goes through [fcell] so no value is ever boxed
@@ -110,7 +111,10 @@ type app = {
   init : Memory.t -> unit;
   work : ctx -> unit;
   checksum_addr : int;
+  stats : unit -> (string * int) list;
 }
+
+let no_stats () = []
 
 let run_sequential app =
   let mem = Memory.create ~words:app.shared_words in
@@ -135,6 +139,7 @@ let run_sequential app =
       unlock = ignore;
       barrier = ignore;
       compute = ignore;
+      clock = (fun () -> 0);
     }
   in
   app.work ctx;

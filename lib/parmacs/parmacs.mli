@@ -51,6 +51,11 @@ type ctx = {
   unlock : int -> unit;
   barrier : int -> unit;
   compute : int -> unit;  (** charge local work, in cycles *)
+  clock : unit -> int;
+      (** this processor's current simulated cycle (the attribution
+          clock); reading it charges nothing.  Serving apps timestamp
+          request issue/completion with it.  [run_sequential] has no
+          clock and always answers 0. *)
 }
 
 (** {2 Typed access helpers} *)
@@ -101,7 +106,16 @@ type app = {
   checksum_addr : int;
       (** float slot that processor 0 fills at the end of [work] with a
           result digest, used to validate runs across platforms *)
+  stats : unit -> (string * int) list;
+      (** app-level counters the platform merges into the run's counter
+          set after the simulation completes (e.g. the KV store's
+          request totals and latency percentiles).  Must be a pure
+          function of the finished run; most apps have none
+          ({!no_stats}). *)
 }
+
+(** The empty [stats] function shared by apps with no app-level counters. *)
+val no_stats : unit -> (string * int) list
 
 (** [run_sequential app] executes the app untimed on a plain memory with
     one processor and no-op synchronization; returns the final memory.

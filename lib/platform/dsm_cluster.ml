@@ -164,6 +164,7 @@ let make ~engine:(module E : Shm_proto.ENGINE) ?(faults = Fabric.no_faults)
                  unlock = (fun l -> inst.Shm_proto.release f ~node ~lock:l);
                  barrier = (fun b -> inst.Shm_proto.barrier_arrive f ~node ~id:b);
                  compute = (fun n -> Engine.advance f n);
+                 clock = (fun () -> Engine.clock f);
                }
              in
              (* With a crash policy armed, every shared-memory and
@@ -269,6 +270,7 @@ let make ~engine:(module E : Shm_proto.ENGINE) ?(faults = Fabric.no_faults)
     Engine.run ?max_cycles ~diag eng;
     inst.Shm_proto.check_invariants ();
     Instrument.finish instrument counters fibers;
+    List.iter (fun (k, v) -> Counters.add counters k v) (app.stats ());
     {
       Report.platform = name;
       app = app.name;
@@ -363,6 +365,7 @@ let dec_plain ?(instrument = Instrument.off) () =
                unlock = ignore;
                barrier = ignore;
                compute = (fun n -> Engine.advance f n);
+               clock = (fun () -> Engine.clock f);
              }
            in
            app.work ctx;
@@ -370,6 +373,7 @@ let dec_plain ?(instrument = Instrument.off) () =
     in
     Engine.run eng;
     Instrument.finish instrument counters [| fiber |];
+    List.iter (fun (k, v) -> Counters.add counters k v) (app.stats ());
     {
       Report.platform = "dec";
       app = app.name;

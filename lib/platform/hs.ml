@@ -175,6 +175,7 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
                  unlock = (fun l -> dsm.Shm_proto.release f ~node ~lock:l);
                  barrier = (fun b -> node_barrier f ~node ~cpu b);
                  compute = (fun n -> Engine.advance f n);
+                 clock = (fun () -> Engine.clock f);
                }
              in
              app.work ctx;
@@ -190,6 +191,7 @@ let make ?(node_cpus = 8) ?(overhead = Overhead.treadmarks_user)
        | _ -> ());
        raise e);
     Instrument.finish instrument counters fibers;
+    List.iter (fun (k, v) -> Counters.add counters k v) (app.stats ());
     {
       Report.platform = name;
       app = app.name;

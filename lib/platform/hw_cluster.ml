@@ -93,6 +93,7 @@ let run ~engine:(module E : Shm_proto.ENGINE) ~instrument ~platform_name
                barrier =
                  (fun b -> inst.Shm_proto.barrier_arrive f ~node:cpu ~id:b);
                compute = (fun n -> Engine.advance f n);
+               clock = (fun () -> Engine.clock f);
              }
            in
            app.work ctx;
@@ -101,6 +102,7 @@ let run ~engine:(module E : Shm_proto.ENGINE) ~instrument ~platform_name
   Engine.run eng;
   inst.Shm_proto.check_invariants ();
   Instrument.finish instrument counters fibers;
+  List.iter (fun (k, v) -> Counters.add counters k v) (app.stats ());
   {
     Report.platform = platform_name;
     app = app.name;

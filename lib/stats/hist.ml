@@ -1,0 +1,122 @@
+(* Fixed log-bucket histogram (see hist.mli for the layout contract).
+
+   Index layout, with [sub] = 16 sub-buckets per octave:
+     v in [0, 2*sub)         -> bucket v               (width 1, exact)
+     v >= 2*sub              -> shift v right until it lands in
+                                [sub, 2*sub); with e shifts the bucket
+                                is [sub + e*sub + (v >> e) - sub], whose
+                                value range is
+                                [(sub+m) << e, ((sub+m+1) << e) - 1].
+   Ranges are disjoint and ascending, so cumulative walks and quantile
+   extraction need no sorting. *)
+
+let sub_bits = 4
+let subbuckets = 1 lsl sub_bits
+
+(* 63-bit ints need at most 58 shifts to land in [16, 32); 60 octaves of
+   16 sub-buckets covers every index the mapping can produce. *)
+let bucket_count = 60 * subbuckets
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable max_v : int;
+  mutable min_v : int;
+}
+
+let create () =
+  {
+    counts = Array.make bucket_count 0;
+    count = 0;
+    sum = 0;
+    max_v = 0;
+    min_v = max_int;
+  }
+
+let[@inline] bucket_of v =
+  let v = if v < 0 then 0 else v in
+  if v < 2 * subbuckets then v
+  else begin
+    let e = ref 0 and x = ref v in
+    while !x >= 2 * subbuckets do
+      x := !x lsr 1;
+      incr e
+    done;
+    (* !x is now in [subbuckets, 2*subbuckets). *)
+    ((!e + 1) * subbuckets) + (!x - subbuckets)
+  end
+
+let bounds i =
+  if i < 0 || i >= bucket_count then invalid_arg "Hist.bounds: bad index";
+  if i < 2 * subbuckets then (i, i)
+  else
+    let e = (i / subbuckets) - 1 and m = i mod subbuckets in
+    (((subbuckets + m) lsl e), (((subbuckets + m + 1) lsl e) - 1))
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let i = bucket_of v in
+  Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + 1);
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_v then t.max_v <- v;
+  if v < t.min_v then t.min_v <- v
+
+let count t = t.count
+let sum t = t.sum
+let max_value t = if t.count = 0 then 0 else t.max_v
+let min_value t = if t.count = 0 then 0 else t.min_v
+let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+let percentile t p =
+  if not (p > 0.0 && p <= 100.0) then
+    invalid_arg (Printf.sprintf "Hist.percentile: %g not in (0, 100]" p);
+  if t.count = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let i = ref 0 and cum = ref 0 in
+    while !cum + t.counts.(!i) < rank do
+      cum := !cum + t.counts.(!i);
+      incr i
+    done;
+    let _, hi = bounds !i in
+    if hi > t.max_v then t.max_v else hi
+  end
+
+let merge ~into src =
+  for i = 0 to bucket_count - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum + src.sum;
+  if src.count > 0 then begin
+    if src.max_v > into.max_v then into.max_v <- src.max_v;
+    if src.min_v < into.min_v then into.min_v <- src.min_v
+  end
+
+let copy t =
+  {
+    counts = Array.copy t.counts;
+    count = t.count;
+    sum = t.sum;
+    max_v = t.max_v;
+    min_v = t.min_v;
+  }
+
+let equal a b =
+  a.count = b.count && a.sum = b.sum && a.max_v = b.max_v
+  && a.min_v = b.min_v && a.counts = b.counts
+
+let to_list t =
+  let acc = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bounds i in
+      acc := (lo, hi, t.counts.(i)) :: !acc
+    end
+  done;
+  !acc

@@ -1,0 +1,65 @@
+(** Allocation-free latency histogram with bounded relative error.
+
+    An HdrHistogram-style fixed log-bucket layout: values below
+    [2 * subbuckets] land in width-1 buckets (exact); above that, each
+    power-of-two octave is split into [subbuckets] equal sub-buckets, so
+    a reported quantile overstates the true value by at most
+    [1/subbuckets] (6.25%).  The bucket array is allocated once at
+    {!create}; {!record} performs only integer stores, so per-request
+    latency recording is free of GC traffic — the serving workloads
+    record one value per simulated request on the hot path.
+
+    Quantile extraction walks the cumulative counts: {!percentile}
+    returns the upper bound of the bucket holding the rank-th value,
+    clamped to the exact recorded maximum (so [percentile t 100.0] is
+    exact, and a singleton histogram reports any quantile exactly). *)
+
+type t
+
+val create : unit -> t
+
+(** [record t v] adds one observation.  Negative values clamp to 0. *)
+val record : t -> int -> unit
+
+val count : t -> int
+
+val sum : t -> int
+
+(** Exact extrema of the recorded values; 0 when empty. *)
+val max_value : t -> int
+
+val min_value : t -> int
+
+(** Mean of the recorded values; 0.0 when empty. *)
+val mean : t -> float
+
+(** [percentile t p] for [p] in (0, 100]: the smallest bucket upper
+    bound covering rank [ceil (p/100 * count)], clamped to the recorded
+    maximum.  Monotone in [p]; 0 when empty.
+    @raise Invalid_argument when [p] is outside (0, 100]. *)
+val percentile : t -> float -> int
+
+(** [merge ~into src] adds every bucket of [src] into [into]; [src] is
+    unchanged.  Merging is associative and commutative. *)
+val merge : into:t -> t -> unit
+
+val copy : t -> t
+
+(** [equal a b] compares full histogram state (buckets and extrema). *)
+val equal : t -> t -> bool
+
+(** {2 Bucket geometry} — exposed for boundary tests. *)
+
+(** Number of width-1 sub-buckets per octave (16). *)
+val subbuckets : int
+
+val bucket_count : int
+
+(** [bucket_of v] is the index of the bucket holding [v]. *)
+val bucket_of : int -> int
+
+(** [bounds i] is the inclusive [(lo, hi)] value range of bucket [i]. *)
+val bounds : int -> int * int
+
+(** Nonzero buckets as [(lo, hi, count)] triples in ascending order. *)
+val to_list : t -> (int * int * int) list

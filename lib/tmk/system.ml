@@ -48,6 +48,8 @@ type node = {
           platforms' fast paths to skip the guard call entirely. *)
   mutable dirty : int list;  (** pages dirtied in the open interval *)
   own_diffs : (int * int, Diff.t) Hashtbl.t;  (** (page, seqno) -> diff *)
+  eager_diffs : (int * int * int, Diff.t) Hashtbl.t;
+      (** (page, creator, seqno) -> eagerly shipped diff, not yet applied *)
   locks : lock_state array;
   pending_reqs : (int, Proto.t Mailbox.t) Hashtbl.t;
   mutable next_req : int;
@@ -143,6 +145,7 @@ let create ?lifecycle eng counters fabric cfg ~memories =
         Bytes.make (Config.n_pages cfg) (if n = 1 then '\002' else '\001');
       dirty = [];
       own_diffs = Hashtbl.create 256;
+      eager_diffs = Hashtbl.create 64;
       locks = Array.init cfg.n_locks (fun l -> mk_lock l id);
       pending_reqs = Hashtbl.create 16;
       next_req = 0;
@@ -368,24 +371,27 @@ let eager_broadcast t fiber nd (record : Record.t) =
   done;
   Counters.incr t.counters "tmk.eager_broadcasts"
 
-let apply_eager_update t nd (record : Record.t) diffs =
+(* An eagerly shipped interval can arrive out of order relative to other
+   intervals touching the same page — delivery latency grows with
+   message size, and updates from successive lock holders come from
+   different senders — so patching memory directly here could apply an
+   older write over a newer one, or leave the page looking current while
+   an earlier interval is still in flight (the page's [applied]
+   high-water mark would then make a later lock grant skip its
+   invalidation).  Instead an eager update is a write notice with its
+   diffs prepaid: register the record (invalidating the page) and stash
+   the diffs; the next access faults and applies everything pending in
+   happened-before order — from the stash, with no remote fetch, when
+   the stash covers it, which is the eager variant's latency win. *)
+let apply_eager_update t fiber nd (record : Record.t) diffs =
   if Record.Store.add nd.store record then begin
     List.iter
       (fun (d : Diff.t) ->
-        let p = d.page in
-        let st = nd.pages.(p) in
-        Diff.apply d nd.mem ~base:(p * t.cfg.page_words);
-        Option.iter (Diff.apply_to_twin d) st.twin;
-        if record.seqno > st.applied.(record.creator) then
-          st.applied.(record.creator) <- record.seqno;
-        st.pending <-
-          List.filter
-            (fun (c, s) -> not (c = record.creator && s = record.seqno))
-            st.pending;
-        t.page_hook ~node:nd.id ~page:p;
-        mark_ckpt_dirty nd p;
-        Counters.incr t.counters "tmk.eager_applies")
-      diffs
+        Hashtbl.replace nd.eager_diffs
+          (d.Diff.page, record.creator, record.seqno)
+          d)
+      diffs;
+    register_records t fiber nd [ record ]
   end
 
 (* ------------------------------------------------------------------ *)
@@ -453,12 +459,39 @@ let fault t fiber nd page =
     let needed =
       List.filter (fun (c, s) -> s > st.applied.(c)) st.pending
     in
-    let by_creator = Hashtbl.create 4 in
+    let seqs_by_creator = Hashtbl.create 4 in
     List.iter
       (fun (c, s) ->
-        let hi = Option.value ~default:0 (Hashtbl.find_opt by_creator c) in
-        Hashtbl.replace by_creator c (max hi s))
+        let l =
+          Option.value ~default:[] (Hashtbl.find_opt seqs_by_creator c)
+        in
+        Hashtbl.replace seqs_by_creator c (s :: l))
       needed;
+    (* Intervals whose diffs were eagerly shipped are served from the
+       local stash.  A creator goes remote only if any of its needed
+       intervals is missing there — the range request then covers all of
+       them, so stashed and fetched diffs never double-apply. *)
+    let stashed_items = ref [] in
+    let by_creator = Hashtbl.create 4 in
+    Hashtbl.iter
+      (fun c seqs ->
+        let stashed =
+          List.filter_map
+            (fun s ->
+              match
+                ( Hashtbl.find_opt nd.eager_diffs (page, c, s),
+                  Record.Store.find nd.store ~creator:c ~seqno:s )
+              with
+              | Some d, Some r -> Some (r, d)
+              | _ -> None)
+            seqs
+        in
+        if List.length stashed = List.length seqs then begin
+          stashed_items := stashed @ !stashed_items;
+          Counters.add t.counters "tmk.eager_applies" (List.length stashed)
+        end
+        else Hashtbl.replace by_creator c (List.fold_left max 0 seqs))
+      seqs_by_creator;
     let req = fresh_req nd in
     let mb = register_req t nd req in
     let expected = Hashtbl.length by_creator in
@@ -471,7 +504,7 @@ let fault t fiber nd page =
           (Proto.Diff_req
              { page; requester = nd.id; req; lo = st.applied.(creator); hi }))
       by_creator;
-    let items = ref [] in
+    let items = ref !stashed_items in
     for _ = 1 to expected do
       match
         Engine.with_category fiber Engine.Net_wait (fun () ->
@@ -510,6 +543,7 @@ let fault t fiber nd page =
       | _ -> failwith "fault: unexpected response"
     done;
     apply_diffs t fiber nd ~page !items;
+    List.iter (fun (c, s) -> Hashtbl.remove nd.eager_diffs (page, c, s)) needed;
     (* Notices may have arrived while we were fetching; if any remain
        unapplied the page must stay invalid and fault again. *)
     st.pending <- List.filter (fun (c, s) -> s > st.applied.(c)) st.pending;
@@ -1063,7 +1097,7 @@ let handle t fiber nd (env : Proto.t Msg.envelope) =
       steal_simple ()
   | Proto.Eager_update { record; diffs } ->
       Engine.advance fiber (overhead t).handler;
-      apply_eager_update t nd record diffs;
+      apply_eager_update t fiber nd record diffs;
       steal_simple ()
   | Proto.Eager_notice { record; requester; req } ->
       Engine.advance fiber (overhead t).handler;

@@ -127,6 +127,7 @@ let make_app (prog : program) =
     init = (fun _ -> ());
     work;
     checksum_addr = lay.digest;
+    stats = Parmacs.no_stats;
   }
 
 (* Read_other sees the PREVIOUS phase's value only if the reader can't

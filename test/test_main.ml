@@ -22,4 +22,5 @@ let () =
       ("runner", Test_runner.suite);
       ("breakdown", Test_breakdown.suite);
       ("crash", Test_crash.suite);
+      ("kv", Test_kv.suite);
     ]

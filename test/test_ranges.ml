@@ -131,6 +131,7 @@ let make_app ~mode ~script =
     init;
     work;
     checksum_addr = digest;
+    stats = Parmacs.no_stats;
   }
 
 (* Every backend, including the eager-invalidate configuration whose

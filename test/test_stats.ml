@@ -1,7 +1,8 @@
-(* Tests for counters and table rendering. *)
+(* Tests for counters, table rendering and the latency histogram. *)
 
 module Counters = Shm_stats.Counters
 module Table = Shm_stats.Table
+module Hist = Shm_stats.Hist
 
 let test_counters_basic () =
   let c = Counters.create () in
@@ -56,6 +57,121 @@ let test_cells () =
   Alcotest.(check string) "int" "42" (Table.cell_i 42);
   Alcotest.(check string) "speedup" "7.40" (Table.cell_speedup 7.4)
 
+(* ------------------------------------------------------------------ *)
+(* Latency histogram (DESIGN.md §14)                                   *)
+
+(* Small values are exact: every bucket below [2 * subbuckets] holds a
+   single value, so percentiles there are not approximations. *)
+let test_hist_small_exact () =
+  let h = Hist.create () in
+  for v = 0 to (2 * Hist.subbuckets) - 1 do
+    Hist.record h v;
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "bounds of %d" v)
+      (v, v)
+      (Hist.bounds (Hist.bucket_of v))
+  done;
+  Alcotest.(check int) "p50 exact" 15 (Hist.percentile h 50.0);
+  Alcotest.(check int) "p100 exact" 31 (Hist.percentile h 100.0)
+
+(* Above the exact range, [bucket_of] must land every value inside its
+   bucket's [lo, hi] and consecutive buckets must tile the axis. *)
+let test_hist_bucket_boundaries () =
+  List.iter
+    (fun v ->
+      let lo, hi = Hist.bounds (Hist.bucket_of v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d in [%d, %d]" v lo hi)
+        true
+        (lo <= v && v <= hi))
+    [ 32; 33; 63; 64; 100; 1_000; 65_535; 65_536; 1_000_000; max_int / 2 ];
+  for i = 0 to 500 do
+    let _, hi = Hist.bounds i in
+    let lo', _ = Hist.bounds (i + 1) in
+    Alcotest.(check int) (Printf.sprintf "bucket %d tiles" i) (hi + 1) lo'
+  done
+
+(* The relative error bound: with 16 sub-buckets per octave, a reported
+   percentile is within 6.25% of the true value. *)
+let test_hist_error_bound () =
+  let h = Hist.create () in
+  List.iter (fun v -> Hist.record h v) [ 1_000; 10_000; 100_000 ];
+  List.iteri
+    (fun i v ->
+      let p = float_of_int (i + 1) /. 3.0 *. 100.0 in
+      let got = Hist.percentile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "P%.0f ~ %d (got %d)" p v got)
+        true
+        (float_of_int (abs (got - v)) <= 0.0625 *. float_of_int v))
+    [ 1_000; 10_000; 100_000 ];
+  (* The top percentile is clamped to the exact recorded maximum. *)
+  Alcotest.(check int) "p100 is the exact max" 100_000
+    (Hist.percentile h 100.0)
+
+let test_hist_merge () =
+  let a = Hist.create () and b = Hist.create () and all = Hist.create () in
+  List.iter
+    (fun v ->
+      Hist.record all v;
+      Hist.record (if v mod 2 = 0 then a else b) v)
+    [ 3; 17; 400; 9_000; 123_456; 7; 88 ];
+  Hist.merge ~into:a b;
+  Alcotest.(check bool) "merge = record-all" true (Hist.equal a all);
+  Alcotest.(check int) "count" 7 (Hist.count a);
+  Alcotest.(check int) "max" 123_456 (Hist.max_value a);
+  Alcotest.(check int) "min" 3 (Hist.min_value a)
+
+let prop_hist_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"hist: percentiles are monotone in p"
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 50) (int_bound 2_000_000))
+              (pair (int_bound 999) (int_bound 999)))
+    (fun (vs, (pa, pb)) ->
+      let h = Hist.create () in
+      List.iter (Hist.record h) vs;
+      let pa = 0.1 +. (float_of_int pa /. 10.0)
+      and pb = 0.1 +. (float_of_int pb /. 10.0) in
+      let lo = min pa pb and hi = max pa pb in
+      Hist.percentile h lo <= Hist.percentile h hi)
+
+let prop_hist_merge_assoc =
+  QCheck.Test.make ~count:100 ~name:"hist: merge is associative"
+    QCheck.(triple (small_list (int_bound 1_000_000))
+              (small_list (int_bound 1_000_000))
+              (small_list (int_bound 1_000_000)))
+    (fun (xs, ys, zs) ->
+      let mk vs =
+        let h = Hist.create () in
+        List.iter (Hist.record h) vs;
+        h
+      in
+      (* (x <- y) <- z  vs  x <- (y <- z) *)
+      let left = mk xs in
+      Hist.merge ~into:left (mk ys);
+      Hist.merge ~into:left (mk zs);
+      let yz = mk ys in
+      Hist.merge ~into:yz (mk zs);
+      let right = mk xs in
+      Hist.merge ~into:right yz;
+      Hist.equal left right)
+
+(* The recorder must be allocation-free on the hot path: recording into
+   an existing histogram does zero minor-heap allocation, so it can sit
+   inside the per-request loop of a simulated server without perturbing
+   GC behaviour. *)
+let test_hist_zero_alloc () =
+  let h = Hist.create () in
+  Hist.record h 1;
+  let before = Gc.minor_words () in
+  for v = 0 to 9_999 do
+    Hist.record h (v * 37)
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* Allow a tiny constant slack for the measurement itself. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "10k records allocated %.0f words" allocated)
+    true (allocated < 256.0)
+
 let suite =
   [
     Alcotest.test_case "counters add/get" `Quick test_counters_basic;
@@ -63,4 +179,14 @@ let suite =
     Alcotest.test_case "table renders rows in order" `Quick test_table_render;
     Alcotest.test_case "table rejects wrong arity" `Quick test_table_arity;
     Alcotest.test_case "cell formatting" `Quick test_cells;
+    Alcotest.test_case "hist: small values exact" `Quick test_hist_small_exact;
+    Alcotest.test_case "hist: bucket boundaries tile" `Quick
+      test_hist_bucket_boundaries;
+    Alcotest.test_case "hist: bounded relative error" `Quick
+      test_hist_error_bound;
+    Alcotest.test_case "hist: merge equals record-all" `Quick test_hist_merge;
+    QCheck_alcotest.to_alcotest prop_hist_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_hist_merge_assoc;
+    Alcotest.test_case "hist: recording is allocation-free" `Quick
+      test_hist_zero_alloc;
   ]
